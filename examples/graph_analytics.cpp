@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Graph-analytics example: PageRank-style skewed traffic on a
+ * Morpheus-enabled GPU.
+ *
+ * Graph workloads stress exactly the structures Morpheus adds: Zipf-hot
+ * vertices hammer a few cache lines (absorbed by L1s and request-queue
+ * merging), the long tail thrashes the conventional LLC (recovered by
+ * extended capacity), and rank updates use global atomics (executed by
+ * the kernel warps, §4.2.3).
+ */
+#include <cstdio>
+
+#include "gpu/gpu_system.hpp"
+#include "harness/runner.hpp"
+#include "harness/table.hpp"
+#include "morpheus/morpheus_controller.hpp"
+#include "workloads/synthetic_workload.hpp"
+
+using namespace morpheus;
+
+int
+main()
+{
+    WorkloadParams params = find_app("page-r")->params;
+    params.name = "pagerank-demo";
+
+    SystemSetup baseline;
+    baseline.compute_sms = 68;
+
+    SystemSetup morpheus =
+        make_morpheus_system(*find_app("page-r"), 26, true, true, PredictionMode::kBloom);
+
+    SyntheticWorkload wl_base(params);
+    GpuSystem sys_base(baseline, wl_base);
+    const RunResult base = sys_base.run();
+
+    SyntheticWorkload wl_morph(params);
+    GpuSystem sys_morph(morpheus, wl_morph);
+    const RunResult morph = sys_morph.run();
+
+    Table table({"metric", "baseline (68 SMs)", "Morpheus (26+42)"});
+    table.add_row({"cycles", std::to_string(base.cycles), std::to_string(morph.cycles)});
+    table.add_row({"IPC", fmt(base.ipc), fmt(morph.ipc)});
+    table.add_row({"DRAM reads", std::to_string(base.dram_reads),
+                   std::to_string(morph.dram_reads)});
+    table.add_row({"DRAM utilization", fmt(100 * base.dram_utilization, 1) + "%",
+                   fmt(100 * morph.dram_utilization, 1) + "%"});
+    table.add_row({"LLC MPKI", fmt(base.mpki, 1), fmt(morph.mpki, 1)});
+    table.add_row({"avg power (W)", fmt(base.avg_watts, 1), fmt(morph.avg_watts, 1)});
+    table.add_row({"extended LLC capacity", "-",
+                   std::to_string(morph.ext_capacity_bytes / 1024 / 1024) + " MiB"});
+    const double ext_hit = morph.ext_requests
+                               ? 100.0 * static_cast<double>(morph.ext_hits) /
+                                     static_cast<double>(morph.ext_requests)
+                               : 0.0;
+    table.add_row({"extended LLC hit rate", "-", fmt(ext_hit, 1) + "%"});
+    table.print();
+
+    // Peek inside the Morpheus controllers for the predictor's view.
+    std::uint64_t pred_hits = 0;
+    std::uint64_t pred_misses = 0;
+    std::uint64_t fp = 0;
+    for (std::uint32_t p = 0; p < sys_morph.num_partitions(); ++p) {
+        pred_hits += sys_morph.controller(p)->predicted_hits();
+        pred_misses += sys_morph.controller(p)->predicted_misses();
+        fp += sys_morph.controller(p)->false_positives();
+    }
+    std::printf("\npredictor: %llu predicted hits, %llu predicted misses (fast path), "
+                "%llu false positives (%.2f%%)\n",
+                static_cast<unsigned long long>(pred_hits),
+                static_cast<unsigned long long>(pred_misses),
+                static_cast<unsigned long long>(fp),
+                pred_hits ? 100.0 * static_cast<double>(fp) / static_cast<double>(pred_hits)
+                          : 0.0);
+    return 0;
+}

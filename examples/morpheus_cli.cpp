@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Command-line driver: run any catalog application on any evaluated
+ * system and print the full metric set.
+ *
+ * Usage:
+ *   morpheus_cli <app> [system] [compute_sms] [cache_sms]
+ *
+ *   app     one of the 17 Table 2 names (p-bfs, cfd, ..., mri-q)
+ *   system  BL | IBL | IBL4X | FREQ | UNIFIED | BASIC | COMPR | MOV |
+ *           ALL | LARGER (default: ALL)
+ *   compute_sms / cache_sms
+ *           optional explicit Morpheus split overriding the catalog
+ *
+ * Examples:
+ *   morpheus_cli kmeans                 # kmeans on Morpheus-ALL
+ *   morpheus_cli cfd BL                 # cfd on the 68-SM baseline
+ *   morpheus_cli lbm ALL 26 42          # explicit 26 compute / 42 cache
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "harness/runner.hpp"
+#include "harness/table.hpp"
+
+using namespace morpheus;
+
+namespace {
+
+bool
+parse_system(const char *name, SystemKind &out)
+{
+    struct Entry
+    {
+        const char *name;
+        SystemKind kind;
+    };
+    static constexpr Entry kEntries[] = {
+        {"BL", SystemKind::kBL},
+        {"IBL", SystemKind::kIBL},
+        {"IBL4X", SystemKind::kIBL4xLLC},
+        {"FREQ", SystemKind::kFrequencyBoost},
+        {"UNIFIED", SystemKind::kUnifiedSmMem},
+        {"BASIC", SystemKind::kMorpheusBasic},
+        {"COMPR", SystemKind::kMorpheusCompression},
+        {"MOV", SystemKind::kMorpheusIndirectMov},
+        {"ALL", SystemKind::kMorpheusAll},
+        {"LARGER", SystemKind::kLargerLlc},
+    };
+    for (const auto &e : kEntries) {
+        if (std::strcmp(name, e.name) == 0) {
+            out = e.kind;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: morpheus_cli <app> [BL|IBL|IBL4X|FREQ|UNIFIED|BASIC|COMPR|MOV|ALL|"
+                 "LARGER] [compute_sms cache_sms]\napps:");
+    for (const auto &app : app_catalog())
+        std::fprintf(stderr, " %s", app.params.name.c_str());
+    std::fprintf(stderr, "\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 2;
+    }
+    const AppSpec *app = find_app(argv[1]);
+    if (!app) {
+        std::fprintf(stderr, "unknown app '%s'\n", argv[1]);
+        usage();
+        return 2;
+    }
+
+    SystemKind kind = SystemKind::kMorpheusAll;
+    if (argc >= 3 && !parse_system(argv[2], kind)) {
+        std::fprintf(stderr, "unknown system '%s'\n", argv[2]);
+        usage();
+        return 2;
+    }
+
+    SystemSetup setup = make_system(kind, *app);
+    if (argc >= 5) {
+        const auto compute = static_cast<std::uint32_t>(std::atoi(argv[3]));
+        const auto cache = static_cast<std::uint32_t>(std::atoi(argv[4]));
+        setup.compute_sms = compute;
+        setup.morpheus.enabled = cache > 0;
+        setup.morpheus.cache_sms = cache;
+    }
+
+    const RunResult r = run_setup(setup, app->params);
+
+    std::printf("%s on %s (%u compute + %u cache SMs)\n\n", app->params.name.c_str(),
+                system_name(kind), setup.compute_sms, setup.morpheus.cache_sms);
+
+    Table table({"metric", "value"});
+    table.add_row({"cycles", std::to_string(r.cycles)});
+    table.add_row({"instructions", std::to_string(r.instructions)});
+    table.add_row({"IPC", fmt(r.ipc)});
+    table.add_row({"L1 hit rate",
+                   fmt(100.0 * static_cast<double>(r.l1_hits) /
+                           std::max<std::uint64_t>(1, r.l1_hits + r.l1_misses),
+                       1) +
+                       "%"});
+    table.add_row({"conventional LLC accesses", std::to_string(r.llc_accesses)});
+    table.add_row({"extended LLC requests", std::to_string(r.ext_requests)});
+    if (r.ext_requests) {
+        table.add_row({"extended LLC hit rate",
+                       fmt(100.0 * static_cast<double>(r.ext_hits) /
+                               static_cast<double>(r.ext_requests),
+                           1) +
+                           "%"});
+        table.add_row({"predicted misses (fast path)",
+                       std::to_string(r.ext_predicted_misses)});
+        table.add_row({"predictor false positives", std::to_string(r.ext_false_positives)});
+        table.add_row({"extended LLC capacity",
+                       std::to_string(r.ext_capacity_bytes / 1024) + " KiB"});
+        table.add_row({"ext hit / pred-miss latency",
+                       fmt(r.ext_hit_latency, 0) + " / " + fmt(r.pred_miss_latency, 0) +
+                           " cycles"});
+    }
+    table.add_row({"DRAM reads / writes",
+                   std::to_string(r.dram_reads) + " / " + std::to_string(r.dram_writes)});
+    table.add_row({"DRAM utilization", fmt(100.0 * r.dram_utilization, 1) + "%"});
+    table.add_row({"LLC MPKI", fmt(r.mpki, 1)});
+    table.add_row({"NoC injection", fmt(r.noc_injection_rate, 1) + " B/cycle"});
+    table.add_row({"avg power", fmt(r.avg_watts, 1) + " W"});
+    table.add_row({"perf/W (IPC per watt)", fmt(r.perf_per_watt, 3)});
+    table.print();
+    return 0;
+}

@@ -1,0 +1,266 @@
+#include "cache/bdi.hpp"
+
+#include <cstring>
+
+namespace morpheus {
+namespace {
+
+/** Reads a little-endian unsigned integer of @p width bytes at @p p. */
+std::uint64_t
+read_le(const std::uint8_t *p, std::uint32_t width)
+{
+    std::uint64_t v = 0;
+    for (std::uint32_t i = 0; i < width; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+/** Writes a little-endian unsigned integer of @p width bytes at @p p. */
+void
+write_le(std::uint8_t *p, std::uint64_t v, std::uint32_t width)
+{
+    for (std::uint32_t i = 0; i < width; ++i)
+        p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+/** Sign-extends the low @p width bytes of @p v to 64 bits. */
+std::int64_t
+sign_extend(std::uint64_t v, std::uint32_t width)
+{
+    const std::uint32_t shift = 64 - 8 * width;
+    return static_cast<std::int64_t>(v << shift) >> shift;
+}
+
+/** True if signed value @p d fits in @p width bytes. */
+bool
+fits_signed(std::int64_t d, std::uint32_t width)
+{
+    const std::int64_t lo = -(1LL << (8 * width - 1));
+    const std::int64_t hi = (1LL << (8 * width - 1)) - 1;
+    return d >= lo && d <= hi;
+}
+
+struct Candidate
+{
+    BdiEncoding encoding;
+    std::uint32_t base_width;
+    std::uint32_t delta_width;
+};
+
+constexpr Candidate kCandidates[] = {
+    {BdiEncoding::kBase8Delta1, 8, 1},
+    {BdiEncoding::kBase4Delta1, 4, 1},
+    {BdiEncoding::kBase8Delta2, 8, 2},
+    {BdiEncoding::kBase2Delta1, 2, 1},
+    {BdiEncoding::kBase4Delta2, 4, 2},
+    {BdiEncoding::kBase8Delta4, 8, 4},
+};
+
+/**
+ * Encoded size for a base/delta candidate: base value + one mask bit per
+ * segment (base vs. zero-immediate) + one delta per segment.
+ */
+std::uint32_t
+candidate_size(std::uint32_t base_width, std::uint32_t delta_width)
+{
+    const std::uint32_t segments = kLineBytes / base_width;
+    return base_width + (segments + 7) / 8 + segments * delta_width;
+}
+
+/**
+ * Tries a candidate encoding. On success fills @p base and @p use_base
+ * (per-segment flag: delta is relative to base rather than zero).
+ */
+bool
+try_candidate(const Block &block, const Candidate &cand, std::uint64_t &base,
+              std::vector<bool> &use_base)
+{
+    const std::uint32_t segments = kLineBytes / cand.base_width;
+    use_base.assign(segments, false);
+    bool have_base = false;
+    base = 0;
+
+    for (std::uint32_t s = 0; s < segments; ++s) {
+        const std::uint64_t raw = read_le(block.data() + s * cand.base_width, cand.base_width);
+        const std::int64_t value = sign_extend(raw, cand.base_width);
+
+        // Zero-immediate base first: small absolute values need no base.
+        if (fits_signed(value, cand.delta_width))
+            continue;
+        if (!have_base) {
+            base = raw;
+            have_base = true;
+        }
+        const std::int64_t base_val = sign_extend(base, cand.base_width);
+        if (!fits_signed(value - base_val, cand.delta_width))
+            return false;
+        use_base[s] = true;
+    }
+    return true;
+}
+
+} // namespace
+
+const char *
+bdi_encoding_name(BdiEncoding e)
+{
+    switch (e) {
+      case BdiEncoding::kZeros:
+        return "zeros";
+      case BdiEncoding::kRepeat:
+        return "repeat";
+      case BdiEncoding::kBase8Delta1:
+        return "b8d1";
+      case BdiEncoding::kBase8Delta2:
+        return "b8d2";
+      case BdiEncoding::kBase8Delta4:
+        return "b8d4";
+      case BdiEncoding::kBase4Delta1:
+        return "b4d1";
+      case BdiEncoding::kBase4Delta2:
+        return "b4d2";
+      case BdiEncoding::kBase2Delta1:
+        return "b2d1";
+      default:
+        return "uncompressed";
+    }
+}
+
+BdiResult
+bdi_compress(const Block &block)
+{
+    // All-zeros special case: 1 byte.
+    bool all_zero = true;
+    for (auto b : block) {
+        if (b != 0) {
+            all_zero = false;
+            break;
+        }
+    }
+    if (all_zero)
+        return {BdiEncoding::kZeros, 1, CompLevel::kHigh};
+
+    // Repeated 8-byte value: 8 bytes.
+    bool repeated = true;
+    for (std::uint32_t i = 8; i < kLineBytes; ++i) {
+        if (block[i] != block[i % 8]) {
+            repeated = false;
+            break;
+        }
+    }
+    if (repeated)
+        return {BdiEncoding::kRepeat, 8, CompLevel::kHigh};
+
+    BdiResult best;
+    std::uint64_t base = 0;
+    std::vector<bool> use_base;
+    for (const auto &cand : kCandidates) {
+        const std::uint32_t size = candidate_size(cand.base_width, cand.delta_width);
+        if (size >= best.size_bytes)
+            continue;
+        if (try_candidate(block, cand, base, use_base)) {
+            best.encoding = cand.encoding;
+            best.size_bytes = size;
+        }
+    }
+    best.level = comp_level_for_size(best.size_bytes);
+    return best;
+}
+
+BdiResult
+bdi_encode(const Block &block, std::vector<std::uint8_t> &out)
+{
+    out.clear();
+    const BdiResult result = bdi_compress(block);
+    switch (result.encoding) {
+      case BdiEncoding::kZeros:
+        out.push_back(0);
+        return result;
+      case BdiEncoding::kRepeat:
+        out.resize(8);
+        std::memcpy(out.data(), block.data(), 8);
+        return result;
+      case BdiEncoding::kUncompressed:
+        out.assign(block.begin(), block.end());
+        return result;
+      default:
+        break;
+    }
+
+    std::uint32_t base_width = 0;
+    std::uint32_t delta_width = 0;
+    for (const auto &cand : kCandidates) {
+        if (cand.encoding == result.encoding) {
+            base_width = cand.base_width;
+            delta_width = cand.delta_width;
+            break;
+        }
+    }
+
+    std::uint64_t base = 0;
+    std::vector<bool> use_base;
+    try_candidate(block, {result.encoding, base_width, delta_width}, base, use_base);
+
+    const std::uint32_t segments = kLineBytes / base_width;
+    const std::uint32_t mask_bytes = (segments + 7) / 8;
+    out.resize(result.size_bytes, 0);
+    write_le(out.data(), base, base_width);
+    std::uint8_t *mask = out.data() + base_width;
+    std::uint8_t *deltas = mask + mask_bytes;
+    const std::int64_t base_val = sign_extend(base, base_width);
+    for (std::uint32_t s = 0; s < segments; ++s) {
+        const std::uint64_t raw = read_le(block.data() + s * base_width, base_width);
+        const std::int64_t value = sign_extend(raw, base_width);
+        const std::int64_t delta = use_base[s] ? value - base_val : value;
+        if (use_base[s])
+            mask[s / 8] |= static_cast<std::uint8_t>(1u << (s % 8));
+        write_le(deltas + s * delta_width, static_cast<std::uint64_t>(delta), delta_width);
+    }
+    return result;
+}
+
+Block
+bdi_decode(BdiEncoding encoding, const std::vector<std::uint8_t> &in)
+{
+    Block block{};
+    switch (encoding) {
+      case BdiEncoding::kZeros:
+        return block;
+      case BdiEncoding::kRepeat:
+        for (std::uint32_t i = 0; i < kLineBytes; ++i)
+            block[i] = in[i % 8];
+        return block;
+      case BdiEncoding::kUncompressed:
+        std::memcpy(block.data(), in.data(), kLineBytes);
+        return block;
+      default:
+        break;
+    }
+
+    std::uint32_t base_width = 0;
+    std::uint32_t delta_width = 0;
+    for (const auto &cand : kCandidates) {
+        if (cand.encoding == encoding) {
+            base_width = cand.base_width;
+            delta_width = cand.delta_width;
+            break;
+        }
+    }
+
+    const std::uint32_t segments = kLineBytes / base_width;
+    const std::uint32_t mask_bytes = (segments + 7) / 8;
+    const std::uint64_t base = read_le(in.data(), base_width);
+    const std::uint8_t *mask = in.data() + base_width;
+    const std::uint8_t *deltas = mask + mask_bytes;
+    const std::int64_t base_val = sign_extend(base, base_width);
+    for (std::uint32_t s = 0; s < segments; ++s) {
+        const std::int64_t delta =
+            sign_extend(read_le(deltas + s * delta_width, delta_width), delta_width);
+        const bool rel_base = mask[s / 8] & (1u << (s % 8));
+        const std::int64_t value = rel_base ? base_val + delta : delta;
+        write_le(block.data() + s * base_width, static_cast<std::uint64_t>(value), base_width);
+    }
+    return block;
+}
+
+} // namespace morpheus

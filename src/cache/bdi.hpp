@@ -1,0 +1,110 @@
+#ifndef MORPHEUS_CACHE_BDI_HPP_
+#define MORPHEUS_CACHE_BDI_HPP_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace morpheus {
+
+/**
+ * Base-Delta-Immediate (BDI) cache block compression
+ * (Pekhimenko et al., PACT 2012), as used by Morpheus' extended-LLC
+ * compression optimization (§4.3.1).
+ *
+ * A block is encoded as one base value of width B plus per-segment deltas
+ * of width D; each segment stores its delta either relative to the base or
+ * relative to an implicit zero base (the "immediate" part), selected by a
+ * per-segment mask bit. We implement the standard encoding menu
+ * {B8D1,B8D2,B8D4,B4D1,B4D2,B2D1} plus the all-zeros and repeated-value
+ * special cases.
+ */
+enum class BdiEncoding : std::uint8_t
+{
+    kZeros,        ///< Whole block is zero.
+    kRepeat,       ///< One 8-byte value repeated.
+    kBase8Delta1,
+    kBase8Delta2,
+    kBase8Delta4,
+    kBase4Delta1,
+    kBase4Delta2,
+    kBase2Delta1,
+    kUncompressed,
+};
+
+/** Human-readable encoding name (for stats and tests). */
+const char *bdi_encoding_name(BdiEncoding e);
+
+/**
+ * Compression levels as defined by Morpheus §4.3.1: blocks compressible
+ * 4x (to <= 32 B) are "high", 2x (to <= 64 B) are "low", the rest are
+ * stored uncompressed. The level determines the register-file slot size.
+ */
+enum class CompLevel : std::uint8_t
+{
+    kHigh = 0,          ///< Stored in a 32-byte slot.
+    kLow = 1,           ///< Stored in a 64-byte slot.
+    kUncompressed = 2,  ///< Stored in a full 128-byte slot.
+};
+
+/** Slot size in bytes for a compression level. */
+constexpr std::uint32_t
+comp_level_bytes(CompLevel level)
+{
+    switch (level) {
+      case CompLevel::kHigh:
+        return 32;
+      case CompLevel::kLow:
+        return 64;
+      default:
+        return kLineBytes;
+    }
+}
+
+/** Maps a compressed size in bytes to the Morpheus compression level. */
+constexpr CompLevel
+comp_level_for_size(std::uint32_t bytes)
+{
+    if (bytes <= 32)
+        return CompLevel::kHigh;
+    if (bytes <= 64)
+        return CompLevel::kLow;
+    return CompLevel::kUncompressed;
+}
+
+/** Result of compressing one 128-byte block. */
+struct BdiResult
+{
+    BdiEncoding encoding = BdiEncoding::kUncompressed;
+    std::uint32_t size_bytes = kLineBytes;
+    CompLevel level = CompLevel::kUncompressed;
+};
+
+/** One 128-byte cache block. */
+using Block = std::array<std::uint8_t, kLineBytes>;
+
+/**
+ * Chooses the smallest applicable BDI encoding for @p block.
+ * Does not materialize the encoded bytes; see bdi_encode for that.
+ */
+BdiResult bdi_compress(const Block &block);
+
+/**
+ * Encodes @p block with the best encoding into @p out (cleared first).
+ * @return the BdiResult describing the chosen encoding.
+ */
+BdiResult bdi_encode(const Block &block, std::vector<std::uint8_t> &out);
+
+/**
+ * Decodes an encoded block produced by bdi_encode.
+ * @param encoding the encoding recorded at compression time.
+ * @param in the encoded bytes.
+ * @return the reconstructed 128-byte block.
+ */
+Block bdi_decode(BdiEncoding encoding, const std::vector<std::uint8_t> &in);
+
+} // namespace morpheus
+
+#endif // MORPHEUS_CACHE_BDI_HPP_

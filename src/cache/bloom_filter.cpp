@@ -1,0 +1,36 @@
+#include "cache/bloom_filter.hpp"
+
+#include <bit>
+
+namespace morpheus {
+
+void
+BloomFilter::insert(std::uint64_t key)
+{
+    for (std::uint32_t i = 0; i < kProbes; ++i) {
+        const std::uint32_t bit = probe_bit(key, i);
+        words_[bit / 64] |= 1ULL << (bit % 64);
+    }
+}
+
+bool
+BloomFilter::maybe_contains(std::uint64_t key) const
+{
+    for (std::uint32_t i = 0; i < kProbes; ++i) {
+        const std::uint32_t bit = probe_bit(key, i);
+        if (!(words_[bit / 64] & (1ULL << (bit % 64))))
+            return false;
+    }
+    return true;
+}
+
+std::uint32_t
+BloomFilter::popcount() const
+{
+    std::uint32_t n = 0;
+    for (auto w : words_)
+        n += static_cast<std::uint32_t>(std::popcount(w));
+    return n;
+}
+
+} // namespace morpheus

@@ -1,0 +1,4 @@
+// MshrTable is header-only; this translation unit exists so the build
+// system has a stable object for the module and to host any future
+// out-of-line definitions.
+#include "cache/mshr.hpp"

@@ -1,0 +1,101 @@
+#ifndef MORPHEUS_CACHE_MSHR_HPP_
+#define MORPHEUS_CACHE_MSHR_HPP_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace morpheus {
+
+/**
+ * A table of Miss Status Holding Registers.
+ *
+ * Tracks outstanding line fetches so that concurrent misses to the same
+ * line are merged onto one memory request. Each entry carries a list of
+ * waiter callbacks invoked with the filled data version when the line
+ * returns.
+ */
+class MshrTable
+{
+  public:
+    /** Callback invoked when the missed line's data arrives. */
+    using Waiter = std::function<void(Cycle when, std::uint64_t version)>;
+
+    /**
+     * @param max_entries maximum distinct outstanding lines; 0 means
+     *        unbounded (used at the LLC where the paper does not model a
+     *        specific limit).
+     */
+    explicit MshrTable(std::size_t max_entries = 0) : max_entries_(max_entries) {}
+
+    /** True when a new (primary) miss cannot currently be accepted. */
+    bool
+    full() const
+    {
+        return max_entries_ != 0 && entries_.size() >= max_entries_;
+    }
+
+    /** True when @p line already has an outstanding fetch. */
+    bool has(LineAddr line) const { return entries_.count(line) != 0; }
+
+    /**
+     * Registers a miss on @p line.
+     * @return true when this is the primary miss (caller must issue the
+     *         fetch); false when merged onto an existing entry.
+     * @pre !full() unless has(line).
+     */
+    bool
+    allocate_or_merge(LineAddr line, Waiter waiter)
+    {
+        auto it = entries_.find(line);
+        if (it != entries_.end()) {
+            it->second.push_back(std::move(waiter));
+            ++merged_;
+            peak_ = std::max(peak_, entries_.size());
+            return false;
+        }
+        entries_[line].push_back(std::move(waiter));
+        ++allocated_;
+        peak_ = std::max(peak_, entries_.size());
+        return true;
+    }
+
+    /**
+     * Completes the fetch of @p line: removes the entry and returns its
+     * waiters (the caller invokes them after installing the fill).
+     */
+    std::vector<Waiter>
+    release(LineAddr line)
+    {
+        auto it = entries_.find(line);
+        if (it == entries_.end())
+            return {};
+        std::vector<Waiter> waiters = std::move(it->second);
+        entries_.erase(it);
+        return waiters;
+    }
+
+    std::size_t outstanding() const { return entries_.size(); }
+
+    /** @name Statistics */
+    ///@{
+    std::uint64_t allocated() const { return allocated_; }
+    std::uint64_t merged() const { return merged_; }
+    std::size_t peak_occupancy() const { return peak_; }
+    ///@}
+
+  private:
+    std::size_t max_entries_;
+    std::unordered_map<LineAddr, std::vector<Waiter>> entries_;
+    std::uint64_t allocated_ = 0;
+    std::uint64_t merged_ = 0;
+    std::size_t peak_ = 0;
+};
+
+} // namespace morpheus
+
+#endif // MORPHEUS_CACHE_MSHR_HPP_

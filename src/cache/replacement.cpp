@@ -1,0 +1,57 @@
+#include "cache/replacement.hpp"
+
+#include "sim/types.hpp"
+
+namespace morpheus {
+
+const char *
+replacement_name(ReplacementKind kind)
+{
+    switch (kind) {
+      case ReplacementKind::kLru:
+        return "lru";
+      case ReplacementKind::kFifo:
+        return "fifo";
+      default:
+        return "random";
+    }
+}
+
+ReplacementState::ReplacementState(std::uint32_t ways, ReplacementKind kind)
+    : kind_(kind), stamp_(ways, 0)
+{
+}
+
+void
+ReplacementState::touch(std::uint32_t way)
+{
+    if (kind_ == ReplacementKind::kLru)
+        stamp_[way] = ++clock_;
+}
+
+void
+ReplacementState::insert(std::uint32_t way)
+{
+    switch (kind_) {
+      case ReplacementKind::kLru:
+      case ReplacementKind::kFifo:
+        stamp_[way] = ++clock_;
+        break;
+      case ReplacementKind::kRandom:
+        stamp_[way] = mix64(++clock_);
+        break;
+    }
+}
+
+std::uint32_t
+ReplacementState::victim() const
+{
+    std::uint32_t best = 0;
+    for (std::uint32_t w = 1; w < stamp_.size(); ++w) {
+        if (stamp_[w] < stamp_[best])
+            best = w;
+    }
+    return best;
+}
+
+} // namespace morpheus

@@ -1,0 +1,58 @@
+#ifndef MORPHEUS_CACHE_REPLACEMENT_HPP_
+#define MORPHEUS_CACHE_REPLACEMENT_HPP_
+
+#include <cstdint>
+#include <vector>
+
+namespace morpheus {
+
+/**
+ * Replacement policies available to SetAssocCache and the extended LLC
+ * kernel. The paper's extended LLC uses LRU (the predictor's BF2-swap
+ * correctness argument depends on it); FIFO and Random exist for ablations
+ * and tests.
+ */
+enum class ReplacementKind : std::uint8_t
+{
+    kLru,
+    kFifo,
+    kRandom,
+};
+
+/** Human-readable policy name. */
+const char *replacement_name(ReplacementKind kind);
+
+/**
+ * Tracks replacement state for one cache set of up to @p ways lines.
+ *
+ * The state is a per-way timestamp: for LRU it is the last-touch stamp,
+ * for FIFO the insertion stamp, and for Random a hashed stamp. The victim
+ * is always the way with the smallest stamp among valid ways; invalid ways
+ * are preferred unconditionally (handled by the cache, which passes only
+ * valid candidates here).
+ */
+class ReplacementState
+{
+  public:
+    ReplacementState(std::uint32_t ways, ReplacementKind kind);
+
+    /** Notes that @p way was touched by a hit or a fill. */
+    void touch(std::uint32_t way);
+
+    /** Notes that @p way was (re)inserted. */
+    void insert(std::uint32_t way);
+
+    /** Picks the victim way among [0, ways). */
+    std::uint32_t victim() const;
+
+    ReplacementKind kind() const { return kind_; }
+
+  private:
+    ReplacementKind kind_;
+    std::uint64_t clock_ = 0;
+    std::vector<std::uint64_t> stamp_;
+};
+
+} // namespace morpheus
+
+#endif // MORPHEUS_CACHE_REPLACEMENT_HPP_

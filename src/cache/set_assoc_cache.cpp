@@ -1,0 +1,131 @@
+#include "cache/set_assoc_cache.hpp"
+
+#include <algorithm>
+
+namespace morpheus {
+
+SetAssocCache::SetAssocCache(std::uint32_t sets, std::uint32_t ways, ReplacementKind repl,
+                             bool hashed_index)
+    : sets_(sets), ways_(ways), hashed_index_(hashed_index),
+      lines_(static_cast<std::size_t>(sets) * ways)
+{
+    repl_.reserve(sets);
+    for (std::uint32_t s = 0; s < sets; ++s)
+        repl_.emplace_back(ways, repl);
+}
+
+std::uint32_t
+SetAssocCache::set_index(LineAddr line) const
+{
+    if (hashed_index_)
+        return static_cast<std::uint32_t>(mix64(line) % sets_);
+    return static_cast<std::uint32_t>(line % sets_);
+}
+
+int
+SetAssocCache::find_way(std::uint32_t set, LineAddr line) const
+{
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        const Line &ln = line_at(set, w);
+        if (ln.valid && ln.line == line)
+            return static_cast<int>(w);
+    }
+    return -1;
+}
+
+bool
+SetAssocCache::probe(LineAddr line) const
+{
+    return find_way(set_index(line), line) >= 0;
+}
+
+SetAssocCache::LookupResult
+SetAssocCache::read(LineAddr line)
+{
+    const std::uint32_t set = set_index(line);
+    const int way = find_way(set, line);
+    if (way < 0) {
+        ++misses_;
+        return {};
+    }
+    ++hits_;
+    repl_[set].touch(static_cast<std::uint32_t>(way));
+    return {true, line_at(set, static_cast<std::uint32_t>(way)).version};
+}
+
+SetAssocCache::LookupResult
+SetAssocCache::write(LineAddr line, std::uint64_t version)
+{
+    const std::uint32_t set = set_index(line);
+    const int way = find_way(set, line);
+    if (way < 0) {
+        ++misses_;
+        return {};
+    }
+    ++hits_;
+    Line &ln = line_at(set, static_cast<std::uint32_t>(way));
+    ln.dirty = true;
+    ln.version = version;
+    repl_[set].touch(static_cast<std::uint32_t>(way));
+    return {true, version};
+}
+
+std::optional<SetAssocCache::Eviction>
+SetAssocCache::fill(LineAddr line, std::uint64_t version, bool dirty)
+{
+    const std::uint32_t set = set_index(line);
+    ++fills_;
+
+    // Refill of a line that raced back in (e.g. two MSHR-merged paths):
+    // just refresh it.
+    if (int way = find_way(set, line); way >= 0) {
+        Line &ln = line_at(set, static_cast<std::uint32_t>(way));
+        ln.version = std::max(ln.version, version);
+        ln.dirty = ln.dirty || dirty;
+        repl_[set].touch(static_cast<std::uint32_t>(way));
+        return std::nullopt;
+    }
+
+    // Prefer an invalid way.
+    int target = -1;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (!line_at(set, w).valid) {
+            target = static_cast<int>(w);
+            break;
+        }
+    }
+
+    std::optional<Eviction> evicted;
+    if (target < 0) {
+        target = static_cast<int>(repl_[set].victim());
+        Line &victim = line_at(set, static_cast<std::uint32_t>(target));
+        evicted = Eviction{victim.line, victim.dirty, victim.version};
+        ++evictions_;
+        if (victim.dirty)
+            ++writebacks_;
+    }
+
+    Line &ln = line_at(set, static_cast<std::uint32_t>(target));
+    ln.line = line;
+    ln.valid = true;
+    ln.dirty = dirty;
+    ln.version = version;
+    repl_[set].insert(static_cast<std::uint32_t>(target));
+    return evicted;
+}
+
+std::optional<SetAssocCache::Eviction>
+SetAssocCache::invalidate(LineAddr line)
+{
+    const std::uint32_t set = set_index(line);
+    const int way = find_way(set, line);
+    if (way < 0)
+        return std::nullopt;
+    Line &ln = line_at(set, static_cast<std::uint32_t>(way));
+    Eviction ev{ln.line, ln.dirty, ln.version};
+    ln.valid = false;
+    ln.dirty = false;
+    return ev;
+}
+
+} // namespace morpheus

@@ -1,0 +1,86 @@
+#ifndef MORPHEUS_GPU_GPU_CONFIG_HPP_
+#define MORPHEUS_GPU_GPU_CONFIG_HPP_
+
+#include <cstdint>
+
+#include "mem/dram.hpp"
+#include "noc/crossbar.hpp"
+#include "sim/types.hpp"
+
+namespace morpheus {
+
+/**
+ * Baseline GPU configuration, modeled after the paper's Table 1
+ * (NVIDIA RTX 3080-like). All latencies are in cycles of the 1 GHz
+ * reference clock, i.e. nanoseconds.
+ */
+struct GpuConfig
+{
+    /** @name Cores */
+    ///@{
+    std::uint32_t num_sms = 68;
+    std::uint32_t warps_per_sm = 48;
+    /** Warp-instructions an SM can issue per cycle (4 schedulers). */
+    std::uint32_t issue_width = 4;
+
+    /**
+     * Memory instructions a warp may have in flight before stalling
+     * (scoreboard depth). This is the memory-level-parallelism knob that
+     * lets warps tolerate LLC/DRAM latency; set to 1 for strict
+     * program-order blocking (used by the correctness property tests).
+     */
+    std::uint32_t warp_mem_credits = 4;
+    ///@}
+
+    /** @name Per-SM L1 (unified with shared memory, 128 KiB) */
+    ///@{
+    std::uint64_t l1_bytes = 128 * 1024;
+    std::uint32_t l1_ways = 8;
+    Cycle l1_latency = 34;
+    std::uint32_t l1_mshrs = 192;
+    ///@}
+
+    /** Register file per SM (extended-LLC raw material), bytes. */
+    std::uint64_t rf_bytes = 256 * 1024;
+
+    /** @name Conventional LLC */
+    ///@{
+    std::uint32_t llc_partitions = 10;
+    std::uint64_t llc_bytes = 5ULL * 1024 * 1024;
+    std::uint32_t llc_ways = 16;
+    /** Partition pipeline latency (tag + data), cycles. */
+    Cycle llc_latency = 90;
+    /** Banks per partition (service parallelism). */
+    std::uint32_t llc_banks = 4;
+    /** Bank occupancy per access, cycles. */
+    Cycle llc_bank_occupancy = 2;
+    ///@}
+
+    NocParams noc{};
+    DramParams dram{};
+
+    /** Frequency multiplier for NoC+LLC+DRAM (Frequency-Boost system). */
+    double mem_frequency_scale = 1.0;
+
+    /**
+     * When true, warps block until stores are acknowledged. Real GPU
+     * stores retire immediately; tests enable this to get sequential
+     * read-your-writes semantics per warp.
+     */
+    bool blocking_writes = false;
+
+    /** Hard stop for a run (protects against pathological configs). */
+    Cycle max_cycles = 400'000'000;
+
+    /** Lines per conventional LLC partition given current llc_bytes. */
+    std::uint32_t
+    llc_sets_per_partition() const
+    {
+        const std::uint64_t lines = llc_bytes / kLineBytes;
+        return static_cast<std::uint32_t>(lines / llc_partitions / llc_ways);
+    }
+};
+
+} // namespace morpheus
+
+#endif // MORPHEUS_GPU_GPU_CONFIG_HPP_

@@ -1,0 +1,155 @@
+#include "harness/system_config.hpp"
+
+#include "morpheus/hit_miss_predictor.hpp"
+#include "morpheus/layout.hpp"
+#include "morpheus/query_logic.hpp"
+
+namespace morpheus {
+namespace {
+
+/** Fraction of the register file a typical kernel leaves unused
+ *  (Unified-SM-Mem adds this to the L1; prior-work-style estimate). */
+constexpr double kUnusedRfFraction = 0.55;
+
+} // namespace
+
+const char *
+system_name(SystemKind kind)
+{
+    switch (kind) {
+      case SystemKind::kBL:
+        return "BL";
+      case SystemKind::kIBL:
+        return "IBL";
+      case SystemKind::kIBL4xLLC:
+        return "IBL-4X-LLC";
+      case SystemKind::kFrequencyBoost:
+        return "Frequency-Boost";
+      case SystemKind::kUnifiedSmMem:
+        return "Unified-SM-Mem";
+      case SystemKind::kMorpheusBasic:
+        return "Morpheus-Basic";
+      case SystemKind::kMorpheusCompression:
+        return "Morpheus-Compr.";
+      case SystemKind::kMorpheusIndirectMov:
+        return "Morpheus-Indirect-MOV";
+      case SystemKind::kMorpheusAll:
+        return "Morpheus-ALL";
+      default:
+        return "larger-LLC";
+    }
+}
+
+std::vector<SystemKind>
+fig12_systems()
+{
+    return {SystemKind::kIBL,           SystemKind::kIBL4xLLC,
+            SystemKind::kUnifiedSmMem,  SystemKind::kFrequencyBoost,
+            SystemKind::kMorpheusBasic, SystemKind::kMorpheusCompression,
+            SystemKind::kMorpheusIndirectMov, SystemKind::kMorpheusAll};
+}
+
+std::uint64_t
+morpheus_storage_per_partition_bytes()
+{
+    // 16 KiB of Bloom filters (256 sets x 2 x 32 B) + ~5 KiB query logic.
+    const QueryLogicParams ql{};
+    return static_cast<std::uint64_t>(ql.status_rows) * DualBloomPredictor::nominal_storage_bytes() +
+           QueryLogic(ql).storage_bytes();
+}
+
+std::uint64_t
+ext_capacity_per_cache_sm(const GpuConfig &cfg)
+{
+    const ExtLlcParams kernel{};
+    return rf_layout(cfg.rf_bytes, kernel.rf_warps).sm_bytes() + l1_ext_capacity(cfg.l1_bytes);
+}
+
+SystemSetup
+make_morpheus_system(const AppSpec &app, std::uint32_t compute_sms, bool compression,
+                     bool hw_indirect_mov, PredictionMode mode)
+{
+    SystemSetup setup;
+    setup.compute_sms = compute_sms;
+    setup.morpheus.enabled = true;
+    setup.morpheus.cache_sms =
+        app.params.memory_bound ? setup.cfg.num_sms - compute_sms : 0;
+    setup.morpheus.kernel.compression = compression;
+    setup.morpheus.kernel.hw_indirect_mov = hw_indirect_mov;
+    setup.morpheus.prediction = mode;
+    return setup;
+}
+
+SystemSetup
+make_system(SystemKind kind, const AppSpec &app)
+{
+    SystemSetup setup;
+    const std::uint64_t fairness_bonus =
+        morpheus_storage_per_partition_bytes() * setup.cfg.llc_partitions;
+
+    switch (kind) {
+      case SystemKind::kBL:
+        setup.compute_sms = setup.cfg.num_sms;
+        setup.cfg.llc_bytes += fairness_bonus;
+        return setup;
+
+      case SystemKind::kIBL:
+        setup.compute_sms = app.ibl_sms;
+        setup.cfg.llc_bytes += fairness_bonus;
+        return setup;
+
+      case SystemKind::kIBL4xLLC:
+        setup.compute_sms = app.ibl_sms;
+        setup.cfg.llc_bytes = 4 * setup.cfg.llc_bytes + fairness_bonus;
+        setup.cfg.llc_banks *= 4;  // ideal: no latency or power impact
+        return setup;
+
+      case SystemKind::kFrequencyBoost: {
+        setup.compute_sms = app.ibl_sms;
+        setup.cfg.llc_bytes += fairness_bonus;
+        const double gated_frac =
+            static_cast<double>(setup.cfg.num_sms - app.ibl_sms) /
+            static_cast<double>(setup.cfg.num_sms);
+        setup.cfg.mem_frequency_scale = gated_frac > 0 ? 1.1 + 0.1 * gated_frac : 1.0;
+        return setup;
+      }
+
+      case SystemKind::kUnifiedSmMem:
+        setup.compute_sms = app.ibl_sms;
+        setup.cfg.llc_bytes += fairness_bonus;
+        setup.l1_bonus_bytes =
+            static_cast<std::uint64_t>(kUnusedRfFraction * static_cast<double>(setup.cfg.rf_bytes));
+        return setup;
+
+      case SystemKind::kMorpheusBasic:
+        return make_morpheus_system(app, app.morpheus_basic_sms, false, false,
+                                    PredictionMode::kBloom);
+
+      case SystemKind::kMorpheusCompression:
+        return make_morpheus_system(app, app.morpheus_all_sms, true, false,
+                                    PredictionMode::kBloom);
+
+      case SystemKind::kMorpheusIndirectMov:
+        return make_morpheus_system(app, app.morpheus_basic_sms, false, true,
+                                    PredictionMode::kBloom);
+
+      case SystemKind::kMorpheusAll:
+        return make_morpheus_system(app, app.morpheus_all_sms, true, true,
+                                    PredictionMode::kBloom);
+
+      case SystemKind::kLargerLlc: {
+        // §7.4: conventional LLC capacity matched to Morpheus-ALL's total
+        // (conventional + extended), same bank count.
+        setup.compute_sms = app.ibl_sms;
+        const std::uint32_t cache_sms =
+            app.params.memory_bound ? setup.cfg.num_sms - app.morpheus_all_sms : 0;
+        setup.cfg.llc_bytes += fairness_bonus +
+                               static_cast<std::uint64_t>(cache_sms) *
+                                   ext_capacity_per_cache_sm(setup.cfg);
+        return setup;
+      }
+    }
+    return setup;
+}
+
+} // namespace morpheus

@@ -1,0 +1,57 @@
+#ifndef MORPHEUS_HARNESS_SYSTEM_CONFIG_HPP_
+#define MORPHEUS_HARNESS_SYSTEM_CONFIG_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "gpu/gpu_system.hpp"
+#include "workloads/app_catalog.hpp"
+
+namespace morpheus {
+
+/** The evaluated systems of §6 (plus §7.4's larger-LLC ablation). */
+enum class SystemKind : std::uint8_t
+{
+    kBL,                  ///< baseline: all 68 SMs, LLC + Morpheus storage folded in
+    kIBL,                 ///< best per-app SM count, rest power-gated
+    kIBL4xLLC,            ///< IBL with ideal 4x LLC (capacity and banks)
+    kFrequencyBoost,      ///< IBL with 10-20% faster memory side
+    kUnifiedSmMem,        ///< IBL with unused RF space added to L1
+    kMorpheusBasic,
+    kMorpheusCompression,
+    kMorpheusIndirectMov,
+    kMorpheusAll,
+    kLargerLlc,           ///< conventional LLC matched to Morpheus-ALL capacity, same banks
+};
+
+/** Paper-style system name. */
+const char *system_name(SystemKind kind);
+
+/** The eight systems of Figure 12, in plot order (BL is the normalizer). */
+std::vector<SystemKind> fig12_systems();
+
+/**
+ * Extra on-chip storage Morpheus adds per LLC partition (Bloom filters +
+ * query logic, §7.5), folded into the baseline LLC for fairness (§6).
+ */
+std::uint64_t morpheus_storage_per_partition_bytes();
+
+/** Extended-LLC capacity of one cache-mode SM (RF 32 warps + L1), bytes. */
+std::uint64_t ext_capacity_per_cache_sm(const GpuConfig &cfg);
+
+/**
+ * Builds the full SystemSetup for @p kind running @p app (Table 3 decides
+ * per-app compute/cache SM splits).
+ */
+SystemSetup make_system(SystemKind kind, const AppSpec &app);
+
+/**
+ * A Morpheus setup with an explicit compute/cache split and prediction
+ * mode (used by Figure 13 and the Table 3 search).
+ */
+SystemSetup make_morpheus_system(const AppSpec &app, std::uint32_t compute_sms,
+                                 bool compression, bool hw_indirect_mov, PredictionMode mode);
+
+} // namespace morpheus
+
+#endif // MORPHEUS_HARNESS_SYSTEM_CONFIG_HPP_

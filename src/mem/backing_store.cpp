@@ -1,0 +1,2 @@
+// BackingStore is header-only; see backing_store.hpp.
+#include "mem/backing_store.hpp"

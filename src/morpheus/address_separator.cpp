@@ -1,0 +1,43 @@
+#include "morpheus/address_separator.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace morpheus {
+
+AddressSeparator::AddressSeparator(std::uint64_t conv_bytes, std::uint32_t num_partitions,
+                                   const std::vector<std::uint64_t> &set_capacities,
+                                   std::uint32_t sets_per_sm)
+    : conv_bytes_(conv_bytes), sets_per_sm_(sets_per_sm), owned_(num_partitions)
+{
+    for (std::uint32_t s = 0; s < set_capacities.size(); ++s) {
+        const std::uint32_t p = s % num_partitions;
+        ext_bytes_ += set_capacities[s];
+        const std::uint64_t prev = owned_[p].empty() ? 0 : owned_[p].back().cum_end;
+        owned_[p].push_back(OwnedSet{s, prev + set_capacities[s]});
+    }
+
+    if (ext_bytes_ > 0) {
+        const double fraction = extended_fraction();
+        threshold_ = static_cast<std::uint64_t>(fraction * 4294967296.0);
+    }
+}
+
+AddressSeparator::SetRef
+AddressSeparator::set_of(LineAddr line) const
+{
+    const std::uint32_t p = partition_of(line, static_cast<std::uint32_t>(owned_.size()));
+    const auto &sets = owned_[p];
+    assert(!sets.empty() && "extended request routed to a partition with no extended sets");
+
+    const std::uint64_t span = sets.back().cum_end;
+    const std::uint64_t u = mix64(line ^ kExtSetSalt) % span;
+    const auto it = std::upper_bound(sets.begin(), sets.end(), u,
+                                     [](std::uint64_t v, const OwnedSet &s) {
+                                         return v < s.cum_end;
+                                     });
+    const std::uint32_t global = it->global_set;
+    return SetRef{global, global / sets_per_sm_, global % sets_per_sm_};
+}
+
+} // namespace morpheus

@@ -1,0 +1,99 @@
+#ifndef MORPHEUS_MORPHEUS_ADDRESS_SEPARATOR_HPP_
+#define MORPHEUS_MORPHEUS_ADDRESS_SEPARATOR_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace morpheus {
+
+/** Hash salts decorrelating the independent address mappings. */
+inline constexpr std::uint64_t kPartitionSalt = 0x5bd1e995u;
+inline constexpr std::uint64_t kSeparatorSalt = 0xc2b2ae3du;
+inline constexpr std::uint64_t kExtSetSalt = 0x27d4eb2fu;
+
+/** LLC partition that owns @p line (NVIDIA-style hashed interleaving). */
+inline std::uint32_t
+partition_of(LineAddr line, std::uint32_t num_partitions)
+{
+    return static_cast<std::uint32_t>(mix64(line ^ kPartitionSalt) % num_partitions);
+}
+
+/**
+ * The Morpheus controller's address separation unit (§4.1.1).
+ *
+ * Statically splits the line-address space into a conventional-LLC
+ * partition and an extended-LLC partition, proportional in size to the
+ * two capacities. Extended-space lines map onto a specific extended set,
+ * weighted by each set's capacity, with the constraint that a line's
+ * extended set is owned by the same LLC partition that conventional
+ * routing would deliver the request to (each partition's controller
+ * fronts ~256 sets, matching the warp status table sizing of §4.1.3).
+ */
+class AddressSeparator
+{
+  public:
+    /** Identifies one extended LLC set. */
+    struct SetRef
+    {
+        std::uint32_t global_set = 0;  ///< dense id over all extended sets
+        std::uint32_t sm_slot = 0;     ///< index into the cache-mode SM list
+        std::uint32_t local_set = 0;   ///< warp/set index within that SM
+    };
+
+    /**
+     * @param conv_bytes       conventional LLC capacity.
+     * @param num_partitions   LLC partitions (= controllers).
+     * @param set_capacities   data capacity of every extended set, indexed
+     *                         by global set id; empty = Morpheus disabled.
+     * @param sets_per_sm      extended sets hosted by each cache-mode SM.
+     */
+    AddressSeparator(std::uint64_t conv_bytes, std::uint32_t num_partitions,
+                     const std::vector<std::uint64_t> &set_capacities,
+                     std::uint32_t sets_per_sm);
+
+    /** True when @p line belongs to the extended LLC's address partition. */
+    bool
+    is_extended(LineAddr line) const
+    {
+        if (threshold_ == 0)
+            return false;
+        return (mix64(line ^ kSeparatorSalt) & 0xffffffffULL) < threshold_;
+    }
+
+    /** Extended set serving @p line. @pre is_extended(line). */
+    SetRef set_of(LineAddr line) const;
+
+    std::uint64_t extended_bytes() const { return ext_bytes_; }
+    double
+    extended_fraction() const
+    {
+        const double total = static_cast<double>(ext_bytes_ + conv_bytes_);
+        return total > 0 ? static_cast<double>(ext_bytes_) / total : 0.0;
+    }
+
+    /** Extended sets owned by partition @p p (warp status table sizing). */
+    std::uint32_t
+    sets_in_partition(std::uint32_t p) const
+    {
+        return static_cast<std::uint32_t>(owned_[p].size());
+    }
+
+  private:
+    struct OwnedSet
+    {
+        std::uint32_t global_set;
+        std::uint64_t cum_end;  ///< cumulative capacity up to and including this set
+    };
+
+    std::uint64_t conv_bytes_;
+    std::uint64_t ext_bytes_ = 0;
+    std::uint64_t threshold_ = 0;  ///< on the low 32 bits of the separator hash
+    std::uint32_t sets_per_sm_;
+    std::vector<std::vector<OwnedSet>> owned_;  ///< per partition, cumulative
+};
+
+} // namespace morpheus
+
+#endif // MORPHEUS_MORPHEUS_ADDRESS_SEPARATOR_HPP_

@@ -1,0 +1,40 @@
+#include "morpheus/hit_miss_predictor.hpp"
+
+#include <utility>
+
+namespace morpheus {
+
+const char *
+prediction_mode_name(PredictionMode mode)
+{
+    switch (mode) {
+      case PredictionMode::kNone:
+        return "No-Prediction";
+      case PredictionMode::kBloom:
+        return "Bloom-Filter";
+      default:
+        return "Perfect-Prediction";
+    }
+}
+
+void
+DualBloomPredictor::on_access(LineAddr line)
+{
+    // Figure 6b step 7: insert the accessed block into both filters.
+    // Invariant (2): n grows only when the block was not already among
+    // BF2's most-recently-used set.
+    if (!bf2_.maybe_contains(line))
+        ++n_;
+    bf1_.insert(line);
+    bf2_.insert(line);
+
+    // Step 8-9: once BF2 provably covers the whole LRU set, promote it.
+    if (n_ >= associativity_) {
+        bf1_ = bf2_;
+        bf2_.clear();
+        n_ = 0;
+        ++swaps_;
+    }
+}
+
+} // namespace morpheus

@@ -1,0 +1,94 @@
+#ifndef MORPHEUS_MORPHEUS_HIT_MISS_PREDICTOR_HPP_
+#define MORPHEUS_MORPHEUS_HIT_MISS_PREDICTOR_HPP_
+
+#include <cstdint>
+
+#include "cache/bloom_filter.hpp"
+#include "sim/types.hpp"
+
+namespace morpheus {
+
+/** Prediction strategy evaluated in Figure 13. */
+enum class PredictionMode : std::uint8_t
+{
+    kNone,    ///< Forward every extended-space request to the cache-mode SM.
+    kBloom,   ///< The paper's dual-Bloom-filter design (§4.1.2).
+    kPerfect, ///< Oracle: query the extended set's actual contents.
+};
+
+/** Human-readable mode name. */
+const char *prediction_mode_name(PredictionMode mode);
+
+/**
+ * The paper's dual-Bloom-filter hit/miss predictor for one extended LLC
+ * set (§4.1.2, Figure 6).
+ *
+ * Invariants maintained on every access:
+ *  (1) BF1 contains at least all blocks currently in the set — queries
+ *      against BF1 therefore never produce false negatives;
+ *  (2) BF2 contains the n most-recently-used blocks.
+ * When n reaches the set's associativity, BF2 provably covers the whole
+ * (LRU-managed) set, so BF1 is replaced by BF2 and BF2 is cleared,
+ * shedding the stale evicted blocks that cause false positives.
+ */
+class DualBloomPredictor
+{
+  public:
+    /** @param associativity blocks the set can hold (the swap threshold);
+     *  the filters are sized to keep ~8 bits per block. */
+    explicit DualBloomPredictor(std::uint32_t associativity = 32)
+        : bf1_(BloomFilter::sized_for(associativity)),
+          bf2_(BloomFilter::sized_for(associativity)), associativity_(associativity)
+    {
+    }
+
+    /**
+     * Queries BF1 (Figure 6a, step 1).
+     * @return true = predicted hit; false = predicted miss (never a false
+     *         negative w.r.t. blocks inserted through on_access).
+     */
+    bool
+    predict_hit(LineAddr line) const
+    {
+        return bf1_.maybe_contains(line);
+    }
+
+    /**
+     * Records an access that leaves @p line resident in the set (an
+     * insertion or a reuse; Figure 6b): inserts into both filters,
+     * advances n, and swaps/clears when n reaches the associativity.
+     */
+    void on_access(LineAddr line);
+
+    /**
+     * Updates the swap threshold (compression grows the effective
+     * associativity of a set; the predictor must not swap early or BF2
+     * might miss resident blocks).
+     */
+    void set_associativity(std::uint32_t associativity) { associativity_ = associativity; }
+
+    std::uint32_t associativity() const { return associativity_; }
+    std::uint32_t mru_count() const { return n_; }
+    std::uint64_t swaps() const { return swaps_; }
+
+    /** Storage per set: two filters (paper §4.1.2: 2 x 32 B for 32 ways). */
+    std::uint32_t storage_bytes() const { return bf1_.storage_bytes() + bf2_.storage_bytes(); }
+
+    /** Paper-nominal storage per set (32-way sizing). */
+    static constexpr std::uint32_t
+    nominal_storage_bytes()
+    {
+        return 2 * BloomFilter::kDefaultBits / 8;
+    }
+
+  private:
+    BloomFilter bf1_;
+    BloomFilter bf2_;
+    std::uint32_t n_ = 0;
+    std::uint32_t associativity_;
+    std::uint64_t swaps_ = 0;
+};
+
+} // namespace morpheus
+
+#endif // MORPHEUS_MORPHEUS_HIT_MISS_PREDICTOR_HPP_

@@ -1,0 +1,134 @@
+#include "morpheus/indirect_mov.hpp"
+
+#include <bit>
+
+namespace morpheus {
+
+WarpSetEmulator::TagLookupResult
+WarpSetEmulator::tag_lookup(std::uint64_t tag)
+{
+    // Algorithm 1, lines 2-4: each thread compares its metadata lane,
+    // then the per-lane results are shared as a 32-bit ballot vector.
+    std::uint32_t ballot = 0;
+    for (std::uint32_t lane = 0; lane < kBlocks; ++lane) {
+        const Metadata &m = metadata_[lane];
+        if (m.valid && m.tag == tag)
+            ballot |= 1u << lane;
+    }
+
+    TagLookupResult result;
+    if (ballot == 0)
+        return result;
+
+    // Line 6: __ffs(ballot) - 1.
+    result.hit = true;
+    result.block_index = static_cast<std::uint32_t>(std::countr_zero(ballot));
+
+    // Lines 9-12: reset the hit block's LRU counter to the maximum,
+    // decrement (saturating) all other valid blocks.
+    for (std::uint32_t lane = 0; lane < kBlocks; ++lane) {
+        Metadata &m = metadata_[lane];
+        if (!m.valid)
+            continue;
+        if (lane == result.block_index)
+            m.lru = 0xFFFFFFFFu;
+        else if (m.lru > 0)
+            --m.lru;
+    }
+    return result;
+}
+
+const Block &
+WarpSetEmulator::indirect_mov_read(std::uint32_t index) const
+{
+    // Algorithm 2: brx.idx into a 32-entry branch-target list; each target
+    // moves a fixed register. The emulated switch is exactly that table.
+    switch (index & 31u) {
+#define MORPHEUS_CASE(i) \
+      case i:            \
+        return data_regs_[i];
+        MORPHEUS_CASE(0) MORPHEUS_CASE(1) MORPHEUS_CASE(2) MORPHEUS_CASE(3)
+        MORPHEUS_CASE(4) MORPHEUS_CASE(5) MORPHEUS_CASE(6) MORPHEUS_CASE(7)
+        MORPHEUS_CASE(8) MORPHEUS_CASE(9) MORPHEUS_CASE(10) MORPHEUS_CASE(11)
+        MORPHEUS_CASE(12) MORPHEUS_CASE(13) MORPHEUS_CASE(14) MORPHEUS_CASE(15)
+        MORPHEUS_CASE(16) MORPHEUS_CASE(17) MORPHEUS_CASE(18) MORPHEUS_CASE(19)
+        MORPHEUS_CASE(20) MORPHEUS_CASE(21) MORPHEUS_CASE(22) MORPHEUS_CASE(23)
+        MORPHEUS_CASE(24) MORPHEUS_CASE(25) MORPHEUS_CASE(26) MORPHEUS_CASE(27)
+        MORPHEUS_CASE(28) MORPHEUS_CASE(29) MORPHEUS_CASE(30) MORPHEUS_CASE(31)
+#undef MORPHEUS_CASE
+    }
+    return data_regs_[0]; // unreachable
+}
+
+void
+WarpSetEmulator::indirect_mov_write(std::uint32_t index, const Block &data)
+{
+    data_regs_[index & 31u] = data;
+}
+
+std::uint32_t
+WarpSetEmulator::victim() const
+{
+    std::uint32_t best = 0;
+    std::uint32_t best_lru = 0xFFFFFFFFu;
+    for (std::uint32_t lane = 0; lane < kBlocks; ++lane) {
+        if (!metadata_[lane].valid)
+            return lane;
+        if (metadata_[lane].lru < best_lru) {
+            best_lru = metadata_[lane].lru;
+            best = lane;
+        }
+    }
+    return best;
+}
+
+std::optional<std::uint64_t>
+WarpSetEmulator::insert(std::uint64_t tag, const Block &data, bool dirty)
+{
+    const std::uint32_t lane = victim();
+    std::optional<std::uint64_t> writeback;
+    if (metadata_[lane].valid && metadata_[lane].dirty)
+        writeback = metadata_[lane].tag;
+
+    // Insertions age the other blocks exactly like hits do (Algorithm 1
+    // lines 9-12); this keeps the counters a total order, i.e. true LRU.
+    for (auto &m : metadata_) {
+        if (m.valid && m.lru > 0)
+            --m.lru;
+    }
+    metadata_[lane] = Metadata{true, dirty, tag, 0xFFFFFFFFu};
+    indirect_mov_write(lane, data);
+    return writeback;
+}
+
+bool
+WarpSetEmulator::write_hit(std::uint64_t tag, const Block &data)
+{
+    const TagLookupResult r = tag_lookup(tag);
+    if (!r.hit)
+        return false;
+    metadata_[r.block_index].dirty = true;
+    indirect_mov_write(r.block_index, data);
+    return true;
+}
+
+bool
+WarpSetEmulator::contains(std::uint64_t tag) const
+{
+    for (const auto &m : metadata_) {
+        if (m.valid && m.tag == tag)
+            return true;
+    }
+    return false;
+}
+
+std::uint32_t
+WarpSetEmulator::valid_blocks() const
+{
+    std::uint32_t n = 0;
+    for (const auto &m : metadata_)
+        n += m.valid ? 1 : 0;
+    return n;
+}
+
+} // namespace morpheus

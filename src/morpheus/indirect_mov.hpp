@@ -1,0 +1,110 @@
+#ifndef MORPHEUS_MORPHEUS_INDIRECT_MOV_HPP_
+#define MORPHEUS_MORPHEUS_INDIRECT_MOV_HPP_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "cache/bdi.hpp"
+#include "sim/types.hpp"
+
+namespace morpheus {
+
+/**
+ * Instruction cost of one indirect register access (reading/writing
+ * R[R_aux]) in the extended LLC kernel.
+ *
+ * Software path (paper Algorithm 2): brx.idx + MOV + return = 3
+ * instructions, two of which are branches causing irregular control flow
+ * (modeled as one extra issue slot of pipeline disturbance).
+ * Hardware path (§4.3.2): a single Indirect-MOV instruction whose operand
+ * collector performs two sequential RF reads.
+ */
+struct IndirectMovCost
+{
+    std::uint32_t instructions;
+    std::uint32_t pipeline_bubbles;
+
+    std::uint32_t total_issue_slots() const { return instructions + pipeline_bubbles; }
+};
+
+/** Cost of one indirect access with/without the ISA extension. */
+constexpr IndirectMovCost
+indirect_mov_cost(bool hw_instruction)
+{
+    return hw_instruction ? IndirectMovCost{1, 0} : IndirectMovCost{3, 1};
+}
+
+/**
+ * A functional emulation of one extended-LLC kernel warp managing one
+ * 32-way fully-associative set in the register file, mirroring the
+ * paper's Figure 8 layout and Algorithms 1 and 2 operation by operation.
+ *
+ * This class is the *reference model* for the timing-side ExtSet: tests
+ * cross-check both against each other. It stores real 128-byte blocks in
+ * emulated data-array registers R0..R31 and per-block metadata (valid,
+ * dirty, tag, LRU counter) in the coalesced metadata register R32.
+ */
+class WarpSetEmulator
+{
+  public:
+    static constexpr std::uint32_t kBlocks = 32;
+
+    WarpSetEmulator() = default;
+
+    /** Result of Algorithm 1 (tag lookup). */
+    struct TagLookupResult
+    {
+        bool hit = false;
+        std::uint32_t block_index = 0;
+    };
+
+    /**
+     * Algorithm 1: warp-parallel tag compare via ballot+ffs semantics,
+     * with LRU counter update (reset the hit block, decrement others).
+     */
+    TagLookupResult tag_lookup(std::uint64_t tag);
+
+    /**
+     * Algorithm 2 (Indirect-MOV): reads data-array register R[index]
+     * through the emulated brx.idx switch table.
+     */
+    const Block &indirect_mov_read(std::uint32_t index) const;
+
+    /** Indirect write of a data-array register (miss fill path). */
+    void indirect_mov_write(std::uint32_t index, const Block &data);
+
+    /**
+     * Inserts @p tag with @p data, evicting the LRU victim if the set is
+     * full (paper §4.2.1 "Handling Extended LLC Misses").
+     * @return the evicted tag if a dirty victim was displaced.
+     */
+    std::optional<std::uint64_t> insert(std::uint64_t tag, const Block &data, bool dirty);
+
+    /** Marks the block holding @p tag dirty with new contents. */
+    bool write_hit(std::uint64_t tag, const Block &data);
+
+    /** Presence check without LRU side effects. */
+    bool contains(std::uint64_t tag) const;
+
+    std::uint32_t valid_blocks() const;
+
+  private:
+    struct Metadata
+    {
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t tag = 0;
+        std::uint32_t lru = 0;
+    };
+
+    /** Picks the victim: invalid lane first, else lowest LRU counter. */
+    std::uint32_t victim() const;
+
+    std::array<Block, kBlocks> data_regs_{};    // R0..R31
+    std::array<Metadata, kBlocks> metadata_{};  // R32, lane i = block i
+};
+
+} // namespace morpheus
+
+#endif // MORPHEUS_MORPHEUS_INDIRECT_MOV_HPP_

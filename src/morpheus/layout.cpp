@@ -1,0 +1,82 @@
+#include "morpheus/layout.hpp"
+
+#include <algorithm>
+#include <iterator>
+
+namespace morpheus {
+namespace {
+
+/**
+ * Auxiliary registers per thread as a function of kernel warp count,
+ * interpolated between the paper's anchor points: 256-239=17 at 8 warps
+ * (max RF capacity, Fig. 11a) and 42-32-1=9 at 48 warps (Fig. 8).
+ */
+std::uint32_t
+aux_regs_for(std::uint32_t warps)
+{
+    struct Point
+    {
+        std::uint32_t warps;
+        std::uint32_t aux;
+    };
+    static constexpr Point kPoints[] = {{1, 16}, {8, 17}, {16, 15}, {32, 12}, {48, 9}};
+
+    if (warps <= kPoints[0].warps)
+        return kPoints[0].aux;
+    for (const auto &pt : kPoints) {
+        if (warps == pt.warps)
+            return pt.aux;
+    }
+    for (std::size_t i = 1; i < std::size(kPoints); ++i) {
+        if (warps <= kPoints[i].warps) {
+            const auto &a = kPoints[i - 1];
+            const auto &b = kPoints[i];
+            const std::uint32_t span = b.warps - a.warps;
+            const std::uint32_t off = warps - a.warps;
+            // Linear interpolation, rounding to nearest.
+            const std::int64_t delta =
+                static_cast<std::int64_t>(b.aux) - static_cast<std::int64_t>(a.aux);
+            return static_cast<std::uint32_t>(
+                static_cast<std::int64_t>(a.aux) + (delta * off + span / 2) / span);
+        }
+    }
+    return kPoints[std::size(kPoints) - 1].aux;
+}
+
+} // namespace
+
+RfLayout
+rf_layout(std::uint64_t rf_bytes, std::uint32_t warps)
+{
+    RfLayout layout;
+    layout.warps = warps;
+    if (warps == 0)
+        return layout;
+
+    constexpr std::uint32_t kMaxRegsPerThread = 256;
+    constexpr std::uint32_t kBytesPerReg = 4;
+    const std::uint64_t total_regs = rf_bytes / kBytesPerReg;           // 64 K for 256 KiB
+    const std::uint64_t per_thread = total_regs / (static_cast<std::uint64_t>(warps) * kWarpWidth);
+    layout.regs_per_thread =
+        static_cast<std::uint32_t>(std::min<std::uint64_t>(per_thread, kMaxRegsPerThread));
+    layout.aux_regs = aux_regs_for(warps);
+
+    const std::uint32_t overhead = layout.aux_regs + layout.metadata_regs;
+    layout.data_blocks =
+        layout.regs_per_thread > overhead ? layout.regs_per_thread - overhead : 0;
+    return layout;
+}
+
+std::uint64_t
+l1_ext_capacity(std::uint64_t l1_bytes)
+{
+    return l1_bytes;
+}
+
+std::uint64_t
+smem_ext_capacity(std::uint64_t unified_bytes)
+{
+    return unified_bytes;
+}
+
+} // namespace morpheus

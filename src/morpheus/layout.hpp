@@ -1,0 +1,63 @@
+#ifndef MORPHEUS_MORPHEUS_LAYOUT_HPP_
+#define MORPHEUS_MORPHEUS_LAYOUT_HPP_
+
+#include <cstdint>
+
+#include "sim/types.hpp"
+
+namespace morpheus {
+
+/**
+ * Register-file layout of the extended LLC kernel (paper §4.2.1, Fig. 8):
+ * each warp implements one cache set; each 128-byte block occupies one
+ * warp register (32 threads x 4 B); one register coalesces the per-block
+ * metadata (valid, dirty, LRU counter, tag); the rest are auxiliary
+ * registers for kernel execution.
+ */
+struct RfLayout
+{
+    std::uint32_t warps = 0;            ///< extended-LLC kernel warps using the RF
+    std::uint32_t regs_per_thread = 0;  ///< total architectural budget per thread
+    std::uint32_t aux_regs = 0;         ///< reserved for the kernel itself
+    std::uint32_t metadata_regs = 1;    ///< coalesced metadata register
+    std::uint32_t data_blocks = 0;      ///< cache blocks per set (= data registers)
+
+    /** Extended-LLC data bytes contributed by one warp (one set). */
+    std::uint64_t
+    bytes_per_warp() const
+    {
+        return static_cast<std::uint64_t>(data_blocks) * kLineBytes;
+    }
+
+    /** Extended-LLC data bytes contributed by the whole SM's RF. */
+    std::uint64_t
+    sm_bytes() const
+    {
+        return bytes_per_warp() * warps;
+    }
+};
+
+/**
+ * Computes the RF layout for @p warps kernel warps sharing an @p rf_bytes
+ * register file (per-thread budget capped at 256 registers, as in the
+ * paper: fewer than 8 warps cannot use the whole RF).
+ *
+ * Auxiliary register pressure shrinks as warps increase (the kernel
+ * amortizes shared bookkeeping), matching the paper's measured capacities:
+ * 239 KiB at 8 warps falling to 192 KiB at 48 warps.
+ */
+RfLayout rf_layout(std::uint64_t rf_bytes, std::uint32_t warps);
+
+/** Extended-LLC capacity of the L1 variant (the whole L1, warp-count independent). */
+std::uint64_t l1_ext_capacity(std::uint64_t l1_bytes);
+
+/**
+ * Extended-LLC capacity of the shared-memory variant. Tags live in the RF
+ * (§4.2.2), so the whole scratchpad stores data; L1 and shared memory are
+ * unified, so this equals the L1 variant's capacity.
+ */
+std::uint64_t smem_ext_capacity(std::uint64_t unified_bytes);
+
+} // namespace morpheus
+
+#endif // MORPHEUS_MORPHEUS_LAYOUT_HPP_

@@ -1,0 +1,2 @@
+// QueryLogic is header-only; see query_logic.hpp.
+#include "morpheus/query_logic.hpp"

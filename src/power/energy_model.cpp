@@ -1,0 +1,34 @@
+#include "power/energy_model.hpp"
+
+namespace morpheus {
+
+EnergyBreakdown
+EnergyModel::finalize(Cycle elapsed, std::uint32_t active_sms, std::uint32_t gated_sms,
+                      bool controller_on) const
+{
+    EnergyBreakdown bd;
+    constexpr double kPjToJ = 1e-12;
+    bd.instr_j = instr_pj_ * kPjToJ;
+    bd.l1_j = l1_pj_ * kPjToJ;
+    bd.llc_j = llc_pj_ * kPjToJ;
+    bd.dram_j = dram_pj_ * kPjToJ;
+    bd.noc_j = noc_pj_ * kPjToJ;
+    bd.rf_j = rf_pj_ * kPjToJ;
+    bd.smem_j = smem_pj_ * kPjToJ;
+
+    const double seconds = static_cast<double>(elapsed) * 1e-9;
+    const double static_w = params_.base_static_w + params_.mem_static_w +
+                            params_.sm_static_w * static_cast<double>(active_sms) +
+                            params_.sm_gated_w * static_cast<double>(gated_sms);
+    bd.static_j = static_w * seconds;
+
+    if (controller_on) {
+        // The controller overhead is defined as a fraction of total GPU
+        // power (paper §7.5: 0.93%).
+        const double before = bd.total_j();
+        bd.controller_j = before * params_.controller_overhead_frac;
+    }
+    return bd;
+}
+
+} // namespace morpheus

@@ -1,0 +1,46 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+namespace morpheus {
+
+void
+EventQueue::schedule(Cycle when, Callback fn)
+{
+    if (when < now_)
+        when = now_;
+    heap_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+bool
+EventQueue::step()
+{
+    if (heap_.empty())
+        return false;
+    // priority_queue::top() returns const&; the callback must be moved out
+    // before pop() so it can run after the event leaves the heap.
+    Event ev = std::move(const_cast<Event &>(heap_.top()));
+    heap_.pop();
+    now_ = ev.when;
+    ++executed_;
+    ev.fn();
+    return true;
+}
+
+void
+EventQueue::run()
+{
+    while (step()) {
+    }
+}
+
+void
+EventQueue::run_until(Cycle until)
+{
+    // Note: when the queue drains before @p until, now() stays at the
+    // last event time — callers read it as the completion time.
+    while (!heap_.empty() && heap_.top().when <= until)
+        step();
+}
+
+} // namespace morpheus

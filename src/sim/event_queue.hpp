@@ -1,0 +1,89 @@
+#ifndef MORPHEUS_SIM_EVENT_QUEUE_HPP_
+#define MORPHEUS_SIM_EVENT_QUEUE_HPP_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace morpheus {
+
+/**
+ * A discrete-event scheduler.
+ *
+ * The whole simulator is event driven: components never tick every cycle;
+ * instead they schedule callbacks at absolute times and model bandwidth
+ * with ThroughputPort reservations. Events scheduled for the same cycle
+ * run in FIFO order (a monotonically increasing sequence number breaks
+ * ties), which keeps runs fully deterministic.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+
+    /** Current simulated time. */
+    Cycle now() const { return now_; }
+
+    /**
+     * Schedules @p fn to run at absolute time @p when.
+     * Scheduling in the past is clamped to "now" (the event still runs).
+     */
+    void schedule(Cycle when, Callback fn);
+
+    /** Schedules @p fn to run @p delay cycles from now. */
+    void schedule_in(Cycle delay, Callback fn) { schedule(now_ + delay, std::move(fn)); }
+
+    /** True when no events remain. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return heap_.size(); }
+
+    /**
+     * Runs the earliest event, advancing time to it.
+     * @return false if the queue was empty.
+     */
+    bool step();
+
+    /** Runs events until the queue drains. */
+    void run();
+
+    /** Runs events with timestamps <= @p until (time advances to at most @p until). */
+    void run_until(Cycle until);
+
+    /** Total number of events executed so far (for micro-benchmarks / tests). */
+    std::uint64_t executed() const { return executed_; }
+
+  private:
+    struct Event
+    {
+        Cycle when;
+        std::uint64_t seq;
+        Callback fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    Cycle now_ = 0;
+    std::uint64_t next_seq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace morpheus
+
+#endif // MORPHEUS_SIM_EVENT_QUEUE_HPP_

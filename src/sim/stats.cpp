@@ -1,0 +1,42 @@
+#include "sim/stats.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace morpheus {
+
+std::string
+format_si(double v)
+{
+    char buf[64];
+    const double a = std::fabs(v);
+    if (a >= 1e9) {
+        std::snprintf(buf, sizeof(buf), "%.2fG", v / 1e9);
+    } else if (a >= 1e6) {
+        std::snprintf(buf, sizeof(buf), "%.2fM", v / 1e6);
+    } else if (a >= 1e3) {
+        std::snprintf(buf, sizeof(buf), "%.2fK", v / 1e3);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.2f", v);
+    }
+    return buf;
+}
+
+std::string
+format_bytes(double bytes)
+{
+    char buf[64];
+    const double a = std::fabs(bytes);
+    if (a >= 1024.0 * 1024.0 * 1024.0) {
+        std::snprintf(buf, sizeof(buf), "%.2fGiB", bytes / (1024.0 * 1024.0 * 1024.0));
+    } else if (a >= 1024.0 * 1024.0) {
+        std::snprintf(buf, sizeof(buf), "%.2fMiB", bytes / (1024.0 * 1024.0));
+    } else if (a >= 1024.0) {
+        std::snprintf(buf, sizeof(buf), "%.2fKiB", bytes / 1024.0);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.0fB", bytes);
+    }
+    return buf;
+}
+
+} // namespace morpheus

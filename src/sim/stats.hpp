@@ -1,0 +1,106 @@
+#ifndef MORPHEUS_SIM_STATS_HPP_
+#define MORPHEUS_SIM_STATS_HPP_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace morpheus {
+
+/**
+ * Accumulates samples of a scalar quantity (latency, queue depth, ...),
+ * tracking count, sum, min and max. Cheap enough for per-request use.
+ */
+class Accumulator
+{
+  public:
+    /** Adds one sample. */
+    void
+    add(double v)
+    {
+        ++count_;
+        sum_ += v;
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    void
+    reset()
+    {
+        count_ = 0;
+        sum_ = 0;
+        min_ = std::numeric_limits<double>::infinity();
+        max_ = -std::numeric_limits<double>::infinity();
+    }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * A fixed-bucket histogram for distribution-shaped stats (e.g. extended
+ * LLC service times). Buckets are linear in [lo, hi); out-of-range samples
+ * land in the first/last bucket.
+ */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t buckets)
+        : lo_(lo), hi_(hi), counts_(buckets, 0)
+    {
+    }
+
+    /** Adds one sample. */
+    void
+    add(double v)
+    {
+        const double span = hi_ - lo_;
+        std::size_t idx = 0;
+        if (v >= hi_) {
+            idx = counts_.size() - 1;
+        } else if (v > lo_) {
+            idx = static_cast<std::size_t>((v - lo_) / span *
+                                           static_cast<double>(counts_.size()));
+            idx = std::min(idx, counts_.size() - 1);
+        }
+        ++counts_[idx];
+        ++total_;
+    }
+
+    std::uint64_t total() const { return total_; }
+    const std::vector<std::uint64_t> &buckets() const { return counts_; }
+    double bucket_lo(std::size_t i) const
+    {
+        return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(counts_.size());
+    }
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * Formats a value with SI-style engineering suffixes (K/M/G) for stat
+ * dumps and bench tables.
+ */
+std::string format_si(double v);
+
+/** Formats a byte count using binary suffixes (KiB/MiB/GiB). */
+std::string format_bytes(double bytes);
+
+} // namespace morpheus
+
+#endif // MORPHEUS_SIM_STATS_HPP_

@@ -1,0 +1,57 @@
+#ifndef MORPHEUS_SIM_TYPES_HPP_
+#define MORPHEUS_SIM_TYPES_HPP_
+
+#include <cstdint>
+
+namespace morpheus {
+
+/**
+ * Simulated time in cycles. The reference clock is 1 GHz, so one cycle is
+ * exactly one nanosecond; latencies quoted in nanoseconds in the paper map
+ * directly onto cycle counts.
+ */
+using Cycle = std::uint64_t;
+
+/** Byte address in the simulated global memory space. */
+using Addr = std::uint64_t;
+
+/** A cache-line-granular address, i.e. byte address >> log2(line size). */
+using LineAddr = std::uint64_t;
+
+/** Cache line (block) size in bytes, fixed at 128 B as in the paper. */
+inline constexpr std::uint32_t kLineBytes = 128;
+
+/** Number of threads in a warp. */
+inline constexpr std::uint32_t kWarpWidth = 32;
+
+/** Converts a byte address to a line address. */
+constexpr LineAddr
+line_of(Addr addr)
+{
+    return addr / kLineBytes;
+}
+
+/** Converts a line address back to the byte address of its first byte. */
+constexpr Addr
+addr_of(LineAddr line)
+{
+    return line * static_cast<Addr>(kLineBytes);
+}
+
+/**
+ * SplitMix64 finalizer: a cheap, high-quality 64-bit mixing function used
+ * for address hashing (set interleaving, address separation, Bloom filter
+ * hash seeds). Deterministic across runs and platforms.
+ */
+constexpr std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace morpheus
+
+#endif // MORPHEUS_SIM_TYPES_HPP_

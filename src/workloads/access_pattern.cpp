@@ -1,0 +1,156 @@
+#include "workloads/access_pattern.hpp"
+
+#include <algorithm>
+
+namespace morpheus {
+namespace {
+
+/**
+ * A random position in the shared region. GPU "streaming" kernels touch
+ * their arrays in CTA-scheduling order, which is effectively arbitrary at
+ * the LLC: modeling it as uniform sampling yields the realistic, smooth
+ * hit-rate-vs-capacity behaviour (and avoids degenerate cyclic-LRU
+ * artifacts that per-warp round-robin cursors would create).
+ */
+LineAddr
+shared_random(const PatternGeometry &geom, PatternState &state)
+{
+    if (geom.shared_lines <= 1)
+        return 0;
+    return state.rng.next_below(geom.shared_lines);
+}
+
+/** Next sequential line within the warp's private region (cyclic sweep:
+ *  this is what makes the live footprint scale with active warps). */
+LineAddr
+private_next(const PatternGeometry &geom, PatternState &state)
+{
+    if (geom.private_lines == 0)
+        return shared_random(geom, state);
+    const LineAddr line = geom.private_begin + (state.cursor % geom.private_lines);
+    ++state.cursor;
+    return line;
+}
+
+/** A hot-region line (Zipf when a sampler is available). */
+LineAddr
+hot_line(const PatternGeometry &geom, PatternState &state, ZipfSampler *zipf)
+{
+    if (geom.hot_lines == 0)
+        return 0;
+    if (zipf)
+        return zipf->sample(state.rng);
+    return state.rng.next_below(geom.hot_lines);
+}
+
+} // namespace
+
+const char *
+pattern_name(PatternKind kind)
+{
+    switch (kind) {
+      case PatternKind::kStreamShared:
+        return "stream-shared";
+      case PatternKind::kStencil:
+        return "stencil";
+      case PatternKind::kTiledReuse:
+        return "tiled-reuse";
+      case PatternKind::kZipfGraph:
+        return "zipf-graph";
+      case PatternKind::kPrivateLoop:
+        return "private-loop";
+      case PatternKind::kHistoAtomic:
+        return "histo-atomic";
+      default:
+        return "random-scatter";
+    }
+}
+
+std::uint32_t
+generate_lines(PatternKind kind, const PatternGeometry &geom, PatternState &state,
+               ZipfSampler *zipf, LineAddr *out, std::uint32_t max_lines)
+{
+    max_lines = std::max<std::uint32_t>(1, max_lines);
+
+    // Hot-region reuse applies uniformly across families: a fraction of
+    // accesses goes to the shared hot prefix (lookup tables, frontier,
+    // centroids, histogram bins, ...).
+    if (geom.hot_lines > 0 && state.rng.chance(geom.reuse_frac)) {
+        out[0] = hot_line(geom, state, zipf);
+        return 1;
+    }
+
+    // Per-warp private traffic (thread-local scratch, per-point features):
+    // this is what grows the live footprint with the number of active
+    // warps and produces the paper's peak-then-drop scaling shapes.
+    if (geom.private_lines > 0 && state.rng.chance(geom.private_frac)) {
+        std::uint32_t n = 0;
+        for (; n < max_lines; ++n)
+            out[n] = private_next(geom, state);
+        return n;
+    }
+
+    switch (kind) {
+      case PatternKind::kStreamShared: {
+        // A coalesced warp load covers max_lines consecutive lines at a
+        // CTA-scheduling-random position.
+        const LineAddr base = shared_random(geom, state);
+        std::uint32_t n = 0;
+        for (; n < max_lines; ++n)
+            out[n] = (base + n) % geom.shared_lines;
+        return n;
+      }
+      case PatternKind::kStencil: {
+        const LineAddr center = shared_random(geom, state);
+        out[0] = center;
+        std::uint32_t n = 1;
+        if (max_lines >= 2)
+            out[n++] = (center + geom.stencil_row) % geom.shared_lines;
+        if (max_lines >= 3)
+            out[n++] = (center + geom.shared_lines - geom.stencil_row) % geom.shared_lines;
+        return n;
+      }
+      case PatternKind::kTiledReuse: {
+        if (state.tile_uses == 0) {
+            state.tile_base = shared_random(geom, state);
+            state.tile_uses = geom.tile_reuse * geom.tile_lines;
+        }
+        --state.tile_uses;
+        out[0] = (state.tile_base + state.rng.next_below(geom.tile_lines)) % geom.shared_lines;
+        return 1;
+      }
+      case PatternKind::kZipfGraph: {
+        // Vertex accesses are skewed over the whole shared region; edges
+        // scatter across a handful of lines.
+        std::uint32_t n = 0;
+        for (; n < max_lines; ++n) {
+            const std::uint64_t v =
+                zipf ? zipf->sample(state.rng) : state.rng.next_below(geom.shared_lines);
+            out[n] = v % geom.shared_lines;
+        }
+        return n;
+      }
+      case PatternKind::kPrivateLoop: {
+        std::uint32_t n = 0;
+        for (; n < max_lines; ++n)
+            out[n] = private_next(geom, state);
+        return n;
+      }
+      case PatternKind::kHistoAtomic: {
+        // The read stream advances privately; the atomic target (handled
+        // by the caller via atomic_frac) lands in the hot bins.
+        out[0] = private_next(geom, state);
+        return 1;
+      }
+      case PatternKind::kRandomScatter: {
+        std::uint32_t n = 0;
+        for (; n < max_lines; ++n)
+            out[n] = state.rng.next_below(std::max<std::uint64_t>(1, geom.shared_lines));
+        return n;
+      }
+    }
+    out[0] = shared_random(geom, state);
+    return 1;
+}
+
+} // namespace morpheus

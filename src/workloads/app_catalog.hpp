@@ -1,0 +1,45 @@
+#ifndef MORPHEUS_WORKLOADS_APP_CATALOG_HPP_
+#define MORPHEUS_WORKLOADS_APP_CATALOG_HPP_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "workloads/synthetic_workload.hpp"
+
+namespace morpheus {
+
+/**
+ * One application from the paper's Table 2, with the per-system compute-SM
+ * counts from Table 3 (IBL uses the best core count; the Morpheus rows are
+ * the offline-tuned compute/cache splits).
+ */
+struct AppSpec
+{
+    WorkloadParams params;
+    std::uint32_t ibl_sms = 68;
+    std::uint32_t morpheus_basic_sms = 68;
+    std::uint32_t morpheus_all_sms = 68;
+};
+
+/**
+ * The 17-application catalog (14 memory-bound + 3 compute-bound),
+ * parameterized to reproduce each application's Figure 1 scaling shape.
+ * Honors the MORPHEUS_WORK_SCALE environment variable (a float multiplier
+ * on every instruction budget) for quick smoke runs.
+ */
+const std::vector<AppSpec> &app_catalog();
+
+/** Looks up an application by its paper name (e.g. "kmeans"). */
+const AppSpec *find_app(std::string_view name);
+
+/** Names of the 14 memory-bound applications, in the paper's order. */
+std::vector<std::string> memory_bound_app_names();
+
+/** Names of the 3 compute-bound applications. */
+std::vector<std::string> compute_bound_app_names();
+
+} // namespace morpheus
+
+#endif // MORPHEUS_WORKLOADS_APP_CATALOG_HPP_

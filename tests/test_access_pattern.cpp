@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/access_pattern.hpp"
+
+using namespace morpheus;
+
+namespace {
+
+PatternGeometry
+geom(std::uint64_t shared = 4096, std::uint64_t priv = 64)
+{
+    PatternGeometry g;
+    g.shared_lines = shared;
+    g.slice_begin = 0;
+    g.slice_lines = shared;
+    g.private_begin = shared;
+    g.private_lines = priv;
+    g.hot_lines = shared / 10;
+    return g;
+}
+
+} // namespace
+
+TEST(Pattern, StreamProducesConsecutiveLines)
+{
+    auto g = geom();
+    PatternState st;
+    LineAddr out[8];
+    const auto n = generate_lines(PatternKind::kStreamShared, g, st, nullptr, out, 4);
+    ASSERT_EQ(n, 4u);
+    for (std::uint32_t i = 1; i < n; ++i)
+        EXPECT_EQ(out[i], (out[0] + i) % g.shared_lines);
+}
+
+TEST(Pattern, StencilTouchesNeighborRows)
+{
+    auto g = geom();
+    g.stencil_row = 64;
+    PatternState st;
+    LineAddr out[8];
+    const auto n = generate_lines(PatternKind::kStencil, g, st, nullptr, out, 3);
+    ASSERT_EQ(n, 3u);
+    EXPECT_EQ(out[1], (out[0] + 64) % g.shared_lines);
+    EXPECT_EQ(out[2], (out[0] + g.shared_lines - 64) % g.shared_lines);
+}
+
+TEST(Pattern, PrivateLoopIsCyclicOverPrivateRegion)
+{
+    auto g = geom(4096, 8);
+    g.hot_lines = 0;  // disable hot branch
+    PatternState st;
+    LineAddr out[8];
+    std::vector<LineAddr> seq;
+    for (int i = 0; i < 16; ++i) {
+        generate_lines(PatternKind::kPrivateLoop, g, st, nullptr, out, 1);
+        seq.push_back(out[0]);
+    }
+    // Two exact passes over the 8-line private region.
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_EQ(seq[static_cast<std::size_t>(i)], g.private_begin + i);
+        EXPECT_EQ(seq[static_cast<std::size_t>(i + 8)], seq[static_cast<std::size_t>(i)]);
+    }
+}
+
+TEST(Pattern, AllLinesStayInBounds)
+{
+    auto g = geom();
+    PatternState st;
+    LineAddr out[8];
+    for (PatternKind kind :
+         {PatternKind::kStreamShared, PatternKind::kStencil, PatternKind::kTiledReuse,
+          PatternKind::kZipfGraph, PatternKind::kPrivateLoop, PatternKind::kHistoAtomic,
+          PatternKind::kRandomScatter}) {
+        for (int i = 0; i < 500; ++i) {
+            const auto n = generate_lines(kind, g, st, nullptr, out, 4);
+            ASSERT_GE(n, 1u);
+            for (std::uint32_t j = 0; j < n; ++j) {
+                ASSERT_LT(out[j], g.private_begin + g.private_lines)
+                    << pattern_name(kind);
+            }
+        }
+    }
+}
+
+TEST(Pattern, HotReuseBranchTargetsHotPrefix)
+{
+    auto g = geom();
+    g.reuse_frac = 1.0;  // always hot
+    PatternState st;
+    LineAddr out[8];
+    for (int i = 0; i < 200; ++i) {
+        const auto n = generate_lines(PatternKind::kStreamShared, g, st, nullptr, out, 4);
+        ASSERT_EQ(n, 1u);
+        ASSERT_LT(out[0], g.hot_lines);
+    }
+}
+
+TEST(Pattern, PrivateFracMixesPrivateTraffic)
+{
+    auto g = geom(4096, 32);
+    g.hot_lines = 0;
+    g.private_frac = 1.0;
+    PatternState st;
+    LineAddr out[8];
+    for (int i = 0; i < 100; ++i) {
+        generate_lines(PatternKind::kStreamShared, g, st, nullptr, out, 1);
+        ASSERT_GE(out[0], g.private_begin);
+    }
+}
+
+TEST(Pattern, TiledReuseRevisitsTileLines)
+{
+    auto g = geom();
+    g.hot_lines = 0;
+    g.tile_lines = 16;
+    g.tile_reuse = 8;
+    PatternState st;
+    LineAddr out[8];
+    std::set<LineAddr> touched;
+    for (int i = 0; i < 128; ++i) {  // one full tile epoch
+        generate_lines(PatternKind::kTiledReuse, g, st, nullptr, out, 1);
+        touched.insert(out[0]);
+    }
+    // 128 accesses landed on at most a tile's worth of distinct lines.
+    EXPECT_LE(touched.size(), 16u);
+}
+
+TEST(Pattern, DeterministicGivenState)
+{
+    auto g = geom();
+    PatternState a;
+    PatternState b;
+    a.rng.reseed(5);
+    b.rng.reseed(5);
+    LineAddr oa[8];
+    LineAddr ob[8];
+    for (int i = 0; i < 100; ++i) {
+        const auto na = generate_lines(PatternKind::kRandomScatter, g, a, nullptr, oa, 4);
+        const auto nb = generate_lines(PatternKind::kRandomScatter, g, b, nullptr, ob, 4);
+        ASSERT_EQ(na, nb);
+        for (std::uint32_t j = 0; j < na; ++j)
+            ASSERT_EQ(oa[j], ob[j]);
+    }
+}

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "morpheus/address_separator.hpp"
+
+using namespace morpheus;
+
+namespace {
+
+/** 48 sets x 2 SMs with uniform capacity. */
+AddressSeparator
+make_sep(std::uint64_t conv_bytes, std::uint32_t sets, std::uint64_t set_bytes,
+         std::uint32_t parts = 10)
+{
+    std::vector<std::uint64_t> caps(sets, set_bytes);
+    return AddressSeparator(conv_bytes, parts, caps, 48);
+}
+
+} // namespace
+
+TEST(AddressSeparator, NoSetsMeansNothingExtended)
+{
+    AddressSeparator sep(5 << 20, 10, {}, 48);
+    EXPECT_EQ(sep.extended_bytes(), 0u);
+    for (LineAddr l = 0; l < 1000; ++l)
+        EXPECT_FALSE(sep.is_extended(l));
+}
+
+TEST(AddressSeparator, SplitIsProportionalToCapacity)
+{
+    // 5 MiB conventional + 5 MiB extended => ~50% of lines extended.
+    const auto sep = make_sep(5ULL << 20, 96, (5ULL << 20) / 96);
+    std::uint64_t ext = 0;
+    constexpr std::uint64_t kLines = 200'000;
+    for (LineAddr l = 0; l < kLines; ++l)
+        ext += sep.is_extended(l);
+    EXPECT_NEAR(static_cast<double>(ext) / kLines, 0.5, 0.01);
+    EXPECT_NEAR(sep.extended_fraction(), 0.5, 0.01);
+}
+
+TEST(AddressSeparator, SmallExtFractionRoutesFewLines)
+{
+    const auto sep = make_sep(15ULL << 20, 96, (5ULL << 20) / 96);  // 25% ext
+    std::uint64_t ext = 0;
+    constexpr std::uint64_t kLines = 200'000;
+    for (LineAddr l = 0; l < kLines; ++l)
+        ext += sep.is_extended(l);
+    EXPECT_NEAR(static_cast<double>(ext) / kLines, 0.25, 0.01);
+}
+
+TEST(AddressSeparator, SetOwnershipMatchesPartitionRouting)
+{
+    // The set serving a line must be owned by the partition that
+    // conventional routing delivers the request to (set % parts == p).
+    const auto sep = make_sep(5ULL << 20, 960, 6528);
+    for (LineAddr l = 0; l < 50'000; ++l) {
+        if (!sep.is_extended(l))
+            continue;
+        const auto ref = sep.set_of(l);
+        EXPECT_EQ(ref.global_set % 10, partition_of(l, 10));
+    }
+}
+
+TEST(AddressSeparator, MappingIsDeterministic)
+{
+    const auto sep = make_sep(5ULL << 20, 96, 6528);
+    for (LineAddr l = 0; l < 1000; ++l) {
+        if (!sep.is_extended(l))
+            continue;
+        const auto a = sep.set_of(l);
+        const auto b = sep.set_of(l);
+        EXPECT_EQ(a.global_set, b.global_set);
+        EXPECT_EQ(a.sm_slot, b.sm_slot);
+        EXPECT_EQ(a.local_set, b.local_set);
+    }
+}
+
+TEST(AddressSeparator, LoadSpreadsAcrossSets)
+{
+    const auto sep = make_sep(5ULL << 20, 96, 6528);
+    std::vector<std::uint32_t> counts(96, 0);
+    for (LineAddr l = 0; l < 300'000; ++l) {
+        if (sep.is_extended(l))
+            ++counts[sep.set_of(l).global_set];
+    }
+    std::uint64_t total = 0;
+    for (auto c : counts)
+        total += c;
+    const double mean = static_cast<double>(total) / 96.0;
+    for (auto c : counts) {
+        EXPECT_GT(c, mean * 0.75);
+        EXPECT_LT(c, mean * 1.25);
+    }
+}
+
+TEST(AddressSeparator, WeightedCapacityGetsWeightedTraffic)
+{
+    // Half the sets have double capacity: they should receive ~2x lines.
+    std::vector<std::uint64_t> caps;
+    for (int i = 0; i < 96; ++i)
+        caps.push_back(i < 48 ? 8192 : 4096);
+    AddressSeparator sep(5ULL << 20, 10, caps, 48);
+    std::uint64_t big = 0;
+    std::uint64_t small = 0;
+    for (LineAddr l = 0; l < 400'000; ++l) {
+        if (!sep.is_extended(l))
+            continue;
+        if (sep.set_of(l).global_set < 48)
+            ++big;
+        else
+            ++small;
+    }
+    EXPECT_NEAR(static_cast<double>(big) / static_cast<double>(small), 2.0, 0.25);
+}
+
+TEST(AddressSeparator, SmSlotAndLocalSetDecomposition)
+{
+    const auto sep = make_sep(5ULL << 20, 96, 6528);  // 2 SMs x 48 sets
+    for (LineAddr l = 0; l < 20'000; ++l) {
+        if (!sep.is_extended(l))
+            continue;
+        const auto ref = sep.set_of(l);
+        EXPECT_EQ(ref.global_set, ref.sm_slot * 48 + ref.local_set);
+        EXPECT_LT(ref.sm_slot, 2u);
+        EXPECT_LT(ref.local_set, 48u);
+    }
+}

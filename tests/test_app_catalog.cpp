@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "gpu/gpu_config.hpp"
+#include "workloads/app_catalog.hpp"
+
+using namespace morpheus;
+
+TEST(Catalog, HasSeventeenApplications)
+{
+    EXPECT_EQ(app_catalog().size(), 17u);  // paper Table 2
+    EXPECT_EQ(memory_bound_app_names().size(), 14u);
+    EXPECT_EQ(compute_bound_app_names().size(), 3u);
+}
+
+TEST(Catalog, PaperNamesPresent)
+{
+    for (const char *name : {"p-bfs", "cfd", "dwt2d", "stencil", "r-bfs", "bprob", "sgem",
+                             "nw", "page-r", "kmeans", "histo", "mri-gri", "spmv", "lbm",
+                             "lib", "hotsp", "mri-q"}) {
+        EXPECT_NE(find_app(name), nullptr) << name;
+    }
+    EXPECT_EQ(find_app("nonexistent"), nullptr);
+}
+
+TEST(Catalog, ComputeBoundAppsHaveHighArithmeticIntensity)
+{
+    for (const auto &app : app_catalog()) {
+        if (!app.params.memory_bound)
+            EXPECT_GE(app.params.alu_per_mem, 20u) << app.params.name;
+        else
+            EXPECT_LE(app.params.alu_per_mem, 10u) << app.params.name;
+    }
+}
+
+TEST(Catalog, ThrashClassHasPrivateRegions)
+{
+    for (const char *name : {"kmeans", "histo", "mri-gri", "spmv", "lbm"})
+        EXPECT_GT(find_app(name)->params.per_warp_ws_bytes, 0u) << name;
+    for (const char *name : {"cfd", "stencil", "page-r"})
+        EXPECT_EQ(find_app(name)->params.per_warp_ws_bytes, 0u) << name;
+}
+
+TEST(Catalog, MemoryBoundAppsExceedBaselineLlc)
+{
+    // The capacity story requires working sets beyond the 5 MiB LLC.
+    const std::uint64_t llc = GpuConfig{}.llc_bytes;
+    for (const auto &app : app_catalog()) {
+        if (!app.params.memory_bound)
+            continue;
+        const std::uint64_t footprint =
+            app.params.shared_ws_bytes +
+            app.params.per_warp_ws_bytes * 48 * 68;  // fully occupied GPU
+        EXPECT_GT(footprint, llc) << app.params.name;
+    }
+}
+
+TEST(Catalog, MorpheusSplitsLeaveCacheSms)
+{
+    for (const auto &app : app_catalog()) {
+        if (!app.params.memory_bound) {
+            EXPECT_EQ(app.morpheus_all_sms, 68u) << app.params.name;
+            continue;
+        }
+        EXPECT_LT(app.morpheus_basic_sms, 68u) << app.params.name;
+        EXPECT_LT(app.morpheus_all_sms, 68u) << app.params.name;
+    }
+}
+
+TEST(Catalog, SeedsAreDistinct)
+{
+    for (std::size_t i = 0; i < app_catalog().size(); ++i) {
+        for (std::size_t j = i + 1; j < app_catalog().size(); ++j)
+            EXPECT_NE(app_catalog()[i].params.seed, app_catalog()[j].params.seed);
+    }
+}

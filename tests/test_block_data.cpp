@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "cache/bdi.hpp"
+#include "workloads/block_data.hpp"
+
+using namespace morpheus;
+
+TEST(BlockData, DeterministicPerLine)
+{
+    const BlockDataProfile profile{0.3, 0.4, 77};
+    EXPECT_EQ(synthesize_block(profile, 42), synthesize_block(profile, 42));
+}
+
+TEST(BlockData, DifferentLinesDiffer)
+{
+    const BlockDataProfile profile{0.3, 0.4, 77};
+    EXPECT_NE(synthesize_block(profile, 1), synthesize_block(profile, 2));
+}
+
+TEST(BlockData, CompressibilityMatchesProfile)
+{
+    const BlockDataProfile profile{0.30, 0.40, 123};
+    int high = 0;
+    int low = 0;
+    int unc = 0;
+    constexpr int kBlocks = 4000;
+    for (LineAddr l = 0; l < kBlocks; ++l) {
+        switch (bdi_compress(synthesize_block(profile, l)).level) {
+          case CompLevel::kHigh:
+            ++high;
+            break;
+          case CompLevel::kLow:
+            ++low;
+            break;
+          default:
+            ++unc;
+            break;
+        }
+    }
+    EXPECT_NEAR(static_cast<double>(high) / kBlocks, 0.30, 0.04);
+    EXPECT_NEAR(static_cast<double>(low) / kBlocks, 0.40, 0.04);
+    EXPECT_NEAR(static_cast<double>(unc) / kBlocks, 0.30, 0.04);
+}
+
+TEST(BlockData, AllHighProfileCompressesFourFold)
+{
+    const BlockDataProfile profile{1.0, 0.0, 5};
+    for (LineAddr l = 0; l < 200; ++l) {
+        const BdiResult r = bdi_compress(synthesize_block(profile, l));
+        EXPECT_EQ(r.level, CompLevel::kHigh) << "line " << l;
+        EXPECT_LE(r.size_bytes, 32u);
+    }
+}
+
+TEST(BlockData, IncompressibleProfileStaysUncompressed)
+{
+    const BlockDataProfile profile{0.0, 0.0, 6};
+    int unc = 0;
+    for (LineAddr l = 0; l < 500; ++l)
+        unc += bdi_compress(synthesize_block(profile, l)).level == CompLevel::kUncompressed;
+    EXPECT_GT(unc, 480);
+}
+
+TEST(BlockData, SeedChangesContents)
+{
+    const BlockDataProfile a{0.3, 0.4, 1};
+    const BlockDataProfile b{0.3, 0.4, 2};
+    EXPECT_NE(synthesize_block(a, 9), synthesize_block(b, 9));
+}

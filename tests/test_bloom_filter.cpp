@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "cache/bloom_filter.hpp"
+#include "sim/rng.hpp"
+
+using namespace morpheus;
+
+TEST(BloomFilter, EmptyContainsNothing)
+{
+    BloomFilter bf;
+    for (std::uint64_t k = 0; k < 1000; ++k)
+        EXPECT_FALSE(bf.maybe_contains(k));
+}
+
+TEST(BloomFilter, NoFalseNegativesEver)
+{
+    BloomFilter bf;
+    for (std::uint64_t k = 0; k < 64; ++k) {
+        bf.insert(k * 2654435761u);
+        for (std::uint64_t j = 0; j <= k; ++j)
+            ASSERT_TRUE(bf.maybe_contains(j * 2654435761u));
+    }
+}
+
+TEST(BloomFilter, ClearEmptiesFilter)
+{
+    BloomFilter bf;
+    bf.insert(12345);
+    ASSERT_TRUE(bf.maybe_contains(12345));
+    bf.clear();
+    EXPECT_FALSE(bf.maybe_contains(12345));
+    EXPECT_EQ(bf.popcount(), 0u);
+}
+
+TEST(BloomFilter, DefaultMatchesPaperBudget)
+{
+    BloomFilter bf;
+    EXPECT_EQ(bf.storage_bytes(), 32u);  // §4.1.2: 32 B per filter
+}
+
+TEST(BloomFilter, SizedForScalesWithElements)
+{
+    EXPECT_EQ(BloomFilter::sized_for(32).bits(), 256u);
+    EXPECT_EQ(BloomFilter::sized_for(64).bits(), 512u);
+    EXPECT_EQ(BloomFilter::sized_for(204).bits(), 2048u);
+}
+
+/** False-positive rate sweep: ~8 bits per element keeps fp low. */
+class BloomFpRate : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(BloomFpRate, FalsePositiveRateIsLowAtDesignLoad)
+{
+    const std::uint32_t elements = GetParam();
+    BloomFilter bf = BloomFilter::sized_for(elements);
+    Rng rng(elements);
+    for (std::uint32_t i = 0; i < elements; ++i)
+        bf.insert(rng.next_u64());
+
+    int fp = 0;
+    constexpr int kProbes = 20'000;
+    Rng probe_rng(999);
+    for (int i = 0; i < kProbes; ++i)
+        fp += bf.maybe_contains(probe_rng.next_u64() | (1ULL << 63));
+    // With 8 bits/element and k=4 the theoretical fp is ~2.4%.
+    EXPECT_LT(static_cast<double>(fp) / kProbes, 0.06)
+        << "elements=" << elements << " bits=" << bf.bits();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BloomFpRate, ::testing::Values(16u, 32u, 64u, 128u, 256u));
+
+TEST(BloomFilter, PopcountGrowsWithInsertions)
+{
+    BloomFilter bf;
+    const std::uint32_t before = bf.popcount();
+    bf.insert(1);
+    bf.insert(2);
+    EXPECT_GT(bf.popcount(), before);
+    EXPECT_LE(bf.popcount(), 2 * BloomFilter::kProbes);
+}

@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "noc/crossbar.hpp"
+
+using namespace morpheus;
+
+TEST(Crossbar, UnloadedTransferIsHopPlusSerialization)
+{
+    Crossbar noc;
+    const Cycle done = noc.sm_to_partition(100, 0, 0, 128);
+    // 144 bytes over the slower (64 B/cy) link + 30-cycle hop.
+    EXPECT_GE(done - 100, noc.params().hop_latency + 2);
+    EXPECT_LE(done - 100, noc.params().hop_latency + 4);
+}
+
+TEST(Crossbar, SmLinkSerializesPerSm)
+{
+    Crossbar noc;
+    const Cycle t1 = noc.sm_to_partition(0, 5, 0, 128);
+    const Cycle t2 = noc.sm_to_partition(0, 5, 1, 128);  // same SM, other partition
+    EXPECT_GT(t2, t1);
+    // A different SM's transfer is unaffected.
+    const Cycle t3 = noc.sm_to_partition(0, 6, 2, 128);
+    EXPECT_EQ(t3, t1);
+}
+
+TEST(Crossbar, DirectionsAreIndependent)
+{
+    Crossbar noc;
+    const Cycle out = noc.sm_to_partition(0, 0, 0, 128);
+    const Cycle in = noc.partition_to_sm(0, 0, 0, 128);
+    EXPECT_EQ(out, in);  // no shared resource between directions
+}
+
+TEST(Crossbar, StatsAccumulate)
+{
+    Crossbar noc;
+    noc.sm_to_partition(0, 0, 0, 128);
+    noc.partition_to_sm(0, 0, 1, 0);
+    EXPECT_EQ(noc.transfers(), 2u);
+    EXPECT_EQ(noc.injected_bytes(), 128u + 2 * noc.params().header_bytes);
+    EXPECT_GT(noc.transfer_latency().mean(), 0.0);
+    EXPECT_GT(noc.injection_rate(100), 0.0);
+}
+
+TEST(Crossbar, FrequencyBoostShortensHop)
+{
+    Crossbar slow;
+    Crossbar fast;
+    fast.set_frequency_scale(1.2);
+    EXPECT_LT(fast.sm_to_partition(0, 0, 0, 0), slow.sm_to_partition(0, 0, 0, 0));
+}
+
+TEST(Crossbar, BandwidthBoundUnderLoad)
+{
+    Crossbar noc;
+    Cycle last = 0;
+    constexpr int kTransfers = 500;
+    for (int i = 0; i < kTransfers; ++i)
+        last = noc.partition_to_sm(0, 0, 0, 128);
+    // The narrower SM-side link (64 B/cy) bounds delivery.
+    const double bytes = kTransfers * (128.0 + noc.params().header_bytes);
+    EXPECT_GE(static_cast<double>(last), bytes / noc.params().sm_link_bytes_per_cycle * 0.95);
+}

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "mem/dram.hpp"
+
+using namespace morpheus;
+
+TEST(Dram, UnloadedLatencyIsDeviceLatencyPlusBurst)
+{
+    DramModel dram;
+    const Cycle done = dram.access(1000, 0, 0, false);
+    // Row miss on first touch: burst (~2 cycles at 76 B/cy) + 480.
+    EXPECT_GE(done - 1000, dram.params().row_miss_latency);
+    EXPECT_LE(done - 1000, dram.params().row_miss_latency + dram.params().bank_occupancy);
+}
+
+TEST(Dram, RowBufferHitsAreFaster)
+{
+    DramModel dram;
+    const Cycle miss = dram.access(0, 0, 100, false);
+    const Cycle hit = dram.access(miss, 0, 101, false);  // same row (64 lines/row)
+    EXPECT_LT(hit - miss, miss - 0);
+    EXPECT_EQ(dram.row_hits(), 1u);
+    EXPECT_EQ(dram.row_misses(), 1u);
+}
+
+TEST(Dram, BandwidthCapsThroughput)
+{
+    DramModel dram;
+    // Saturate one channel: N back-to-back accesses to distinct rows.
+    constexpr int kAccesses = 1000;
+    Cycle last = 0;
+    for (int i = 0; i < kAccesses; ++i)
+        last = dram.access(0, 0, static_cast<LineAddr>(i) * 64, false);
+    // The channel bus serves 128 B at 76 B/cycle => >= 1.68 cycles/access.
+    const double min_duration = kAccesses * 128.0 / dram.params().bytes_per_cycle_per_channel;
+    EXPECT_GE(static_cast<double>(last), min_duration * 0.95);
+}
+
+TEST(Dram, ChannelsAreIndependent)
+{
+    DramModel dram;
+    Cycle c0 = 0;
+    Cycle c1 = 0;
+    for (int i = 0; i < 200; ++i) {
+        c0 = dram.access(0, 0, static_cast<LineAddr>(i) * 64, false);
+        c1 = dram.access(0, 1, static_cast<LineAddr>(i) * 64, false);
+    }
+    // Loading channel 1 does not slow channel 0: their completion times
+    // track each other.
+    EXPECT_NEAR(static_cast<double>(c0), static_cast<double>(c1), 64.0);
+}
+
+TEST(Dram, CountsReadsWritesBytes)
+{
+    DramModel dram;
+    dram.access(0, 0, 1, false);
+    dram.access(0, 0, 2, true);
+    EXPECT_EQ(dram.reads(), 1u);
+    EXPECT_EQ(dram.writes(), 1u);
+    EXPECT_EQ(dram.bytes_transferred(), 2u * kLineBytes);
+}
+
+TEST(Dram, UtilizationIsFractionOfPeak)
+{
+    DramModel dram;
+    for (int i = 0; i < 100; ++i)
+        dram.access(0, 0, static_cast<LineAddr>(i) * 64, false);
+    const double util = dram.utilization(10'000);
+    EXPECT_GT(util, 0.0);
+    EXPECT_LT(util, 1.0);
+}
+
+TEST(Dram, FrequencyBoostShortensLatency)
+{
+    DramModel slow;
+    DramModel fast;
+    fast.set_frequency_scale(1.2);
+    const Cycle t_slow = slow.access(0, 0, 0, false);
+    const Cycle t_fast = fast.access(0, 0, 0, false);
+    EXPECT_LT(t_fast, t_slow);
+}

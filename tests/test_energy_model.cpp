@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "power/energy_model.hpp"
+
+using namespace morpheus;
+
+TEST(Energy, StaticOnlyIdleSystem)
+{
+    EnergyModel em;
+    const auto bd = em.finalize(1'000'000, 68, 0, false);  // 1 ms
+    const double watts = EnergyModel::average_watts(bd, 1'000'000);
+    const auto &p = em.params();
+    EXPECT_NEAR(watts, p.base_static_w + p.mem_static_w + 68 * p.sm_static_w, 1.0);
+}
+
+TEST(Energy, PowerGatingSavesStaticPower)
+{
+    EnergyModel em;
+    const auto all_on = em.finalize(1'000'000, 68, 0, false);
+    const auto gated = em.finalize(1'000'000, 24, 44, false);
+    EXPECT_LT(gated.total_j(), all_on.total_j());
+    const double saved_w =
+        EnergyModel::average_watts(all_on, 1'000'000) -
+        EnergyModel::average_watts(gated, 1'000'000);
+    EXPECT_NEAR(saved_w, 44 * (em.params().sm_static_w - em.params().sm_gated_w), 1.0);
+}
+
+TEST(Energy, DynamicEventsAccumulate)
+{
+    EnergyModel em;
+    em.add_dram_bytes(128);
+    em.add_llc_bytes(128);
+    em.add_rf_bytes(128);
+    const auto bd = em.finalize(0, 0, 0, false);
+    const auto &p = em.params();
+    EXPECT_NEAR(bd.dram_j, 128 * p.dram_pj_per_byte * 1e-12, 1e-15);
+    EXPECT_NEAR(bd.llc_j, 128 * p.llc_pj_per_byte * 1e-12, 1e-15);
+    EXPECT_NEAR(bd.rf_j, 128 * p.rf_pj_per_byte * 1e-12, 1e-15);
+}
+
+TEST(Energy, DramDominatesOnChipPerByte)
+{
+    // The paper's energy argument requires off-chip bytes to cost far
+    // more than extended-LLC bytes (~61 pJ/B) and conventional LLC bytes
+    // (~10 pJ/B).
+    const EnergyParams p;
+    EXPECT_GT(p.dram_pj_per_byte, 5 * p.llc_pj_per_byte);
+    EXPECT_GT(p.dram_pj_per_byte, 10 * p.rf_pj_per_byte);
+}
+
+TEST(Energy, ControllerOverheadIsSmall)
+{
+    EnergyModel em;
+    em.add_dram_bytes(1'000'000);
+    const auto with = em.finalize(1'000'000, 68, 0, true);
+    const auto without = em.finalize(1'000'000, 68, 0, false);
+    const double frac = (with.total_j() - without.total_j()) / without.total_j();
+    EXPECT_NEAR(frac, em.params().controller_overhead_frac, 1e-4);  // paper: 0.93%
+}
+
+TEST(Energy, InstructionEnergyCounts)
+{
+    EnergyModel em;
+    em.add_instructions(1000);
+    const auto bd = em.finalize(0, 0, 0, false);
+    EXPECT_NEAR(bd.instr_j, 1000 * em.params().instr_pj * 1e-12, 1e-13);
+}

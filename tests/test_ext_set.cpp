@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "morpheus/extended_llc_kernel.hpp"
+#include "sim/rng.hpp"
+
+using namespace morpheus;
+
+namespace {
+constexpr std::uint32_t kBudget = 32 * kLineBytes;  // 32 uncompressed slots
+}
+
+TEST(ExtSet, MissesWhenEmpty)
+{
+    ExtSet set(kBudget, false, 10'000);
+    std::uint64_t v;
+    CompLevel lvl;
+    EXPECT_FALSE(set.touch_read(0, 1, v, lvl));
+    EXPECT_EQ(set.resident(), 0u);
+}
+
+TEST(ExtSet, InsertThenRead)
+{
+    ExtSet set(kBudget, false, 10'000);
+    std::vector<ExtSet::Evicted> ev;
+    EXPECT_TRUE(set.insert(0, 7, 5, false, CompLevel::kUncompressed, ev));
+    std::uint64_t v;
+    CompLevel lvl;
+    ASSERT_TRUE(set.touch_read(1, 7, v, lvl));
+    EXPECT_EQ(v, 5u);
+    EXPECT_TRUE(ev.empty());
+}
+
+TEST(ExtSet, WithoutCompressionMaxBlocksIsBudgetOverLine)
+{
+    ExtSet set(kBudget, false, 10'000);
+    EXPECT_EQ(set.max_blocks(), 32u);
+    ExtSet cset(kBudget, true, 10'000);
+    EXPECT_EQ(cset.max_blocks(), 128u);  // all-high packing
+}
+
+TEST(ExtSet, EvictsGlobalLruWhenFull)
+{
+    ExtSet set(4 * kLineBytes, false, 10'000);
+    std::vector<ExtSet::Evicted> ev;
+    for (LineAddr l = 0; l < 4; ++l)
+        set.insert(l, l, l, false, CompLevel::kUncompressed, ev);
+    std::uint64_t v;
+    CompLevel lvl;
+    set.touch_read(10, 0, v, lvl);  // line 1 is now LRU
+    set.insert(11, 99, 1, false, CompLevel::kUncompressed, ev);
+    EXPECT_FALSE(set.contains(1));
+    EXPECT_TRUE(set.contains(0));
+    EXPECT_TRUE(set.contains(99));
+}
+
+TEST(ExtSet, DirtyEvictionsAreReported)
+{
+    ExtSet set(2 * kLineBytes, false, 10'000);
+    std::vector<ExtSet::Evicted> ev;
+    set.insert(0, 1, 10, true, CompLevel::kUncompressed, ev);
+    set.insert(1, 2, 0, false, CompLevel::kUncompressed, ev);
+    set.insert(2, 3, 0, false, CompLevel::kUncompressed, ev);
+    ASSERT_EQ(ev.size(), 1u);
+    EXPECT_EQ(ev[0].line, 1u);
+    EXPECT_EQ(ev[0].version, 10u);
+}
+
+TEST(ExtSet, WriteTouchDirties)
+{
+    ExtSet set(kBudget, false, 10'000);
+    std::vector<ExtSet::Evicted> ev;
+    set.insert(0, 4, 1, false, CompLevel::kUncompressed, ev);
+    EXPECT_TRUE(set.touch_write(1, 4, 8));
+    // Evict it: the writeback must carry version 8.
+    for (LineAddr l = 100; l < 164; ++l)
+        set.insert(2, l, 0, false, CompLevel::kUncompressed, ev);
+    bool found = false;
+    for (const auto &e : ev) {
+        if (e.line == 4) {
+            found = true;
+            EXPECT_EQ(e.version, 8u);
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(ExtSet, CompressionPacksMoreBlocks)
+{
+    // With compression, high-level blocks occupy 32-byte slots after the
+    // first epoch rebalances the allocation toward observed demand.
+    ExtSet set(kBudget, true, 100);
+    std::vector<ExtSet::Evicted> ev;
+    Cycle now = 0;
+    for (LineAddr l = 0; l < 200; ++l) {
+        set.insert(now, l, 1, false, CompLevel::kHigh, ev);
+        now += 10;  // crosses many epochs
+    }
+    EXPECT_GT(set.resident(), 32u);  // beats the uncompressed capacity
+    EXPECT_LE(set.resident(), set.max_blocks());
+}
+
+TEST(ExtSet, UncompressedInsertsIgnoreLevelWhenDisabled)
+{
+    ExtSet set(kBudget, false, 10'000);
+    std::vector<ExtSet::Evicted> ev;
+    for (LineAddr l = 0; l < 64; ++l)
+        set.insert(0, l, 1, false, CompLevel::kHigh, ev);
+    EXPECT_EQ(set.resident(), 32u);  // each still occupies a full slot
+}
+
+TEST(ExtSet, RacedRefillRefreshesInPlace)
+{
+    ExtSet set(kBudget, false, 10'000);
+    std::vector<ExtSet::Evicted> ev;
+    set.insert(0, 5, 3, false, CompLevel::kUncompressed, ev);
+    set.insert(1, 5, 9, true, CompLevel::kUncompressed, ev);
+    EXPECT_EQ(set.resident(), 1u);
+    std::uint64_t v;
+    CompLevel lvl;
+    set.touch_read(2, 5, v, lvl);
+    EXPECT_EQ(v, 9u);
+}
+
+TEST(ExtSet, MixedLevelTrafficStaysWithinBudget)
+{
+    ExtSet set(kBudget, true, 500);
+    std::vector<ExtSet::Evicted> ev;
+    Rng rng(3);
+    Cycle now = 0;
+    for (int i = 0; i < 5000; ++i) {
+        const auto level = static_cast<CompLevel>(rng.next_below(3));
+        set.insert(now, rng.next_below(512), 1, rng.chance(0.3), level, ev);
+        now += 7;
+    }
+    // Invariant: resident blocks can never exceed the all-high packing.
+    EXPECT_LE(set.resident(), set.max_blocks());
+}

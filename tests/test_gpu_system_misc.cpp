@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "gpu/gpu_system.hpp"
+#include "morpheus/morpheus_controller.hpp"
+#include "workloads/synthetic_workload.hpp"
+
+using namespace morpheus;
+
+namespace {
+
+WorkloadParams
+tiny()
+{
+    WorkloadParams p;
+    p.name = "misc";
+    p.shared_ws_bytes = 2 << 20;
+    p.warps_per_sm = 8;
+    p.total_mem_instrs = 4'000;
+    return p;
+}
+
+} // namespace
+
+TEST(GpuSystemMisc, FrequencyBoostImprovesMemoryBoundRuntime)
+{
+    WorkloadParams p = tiny();
+    p.shared_ws_bytes = 16 << 20;
+    p.total_mem_instrs = 20'000;
+    SyntheticWorkload wl1(p);
+    SyntheticWorkload wl2(p);
+    SystemSetup base;
+    base.compute_sms = 32;
+    SystemSetup boost = base;
+    boost.cfg.mem_frequency_scale = 1.2;
+    GpuSystem s1(base, wl1);
+    GpuSystem s2(boost, wl2);
+    EXPECT_LT(s2.run().cycles, s1.run().cycles);
+}
+
+TEST(GpuSystemMisc, UnifiedSmMemBonusRaisesL1HitRate)
+{
+    WorkloadParams p = tiny();
+    p.reuse_frac = 0.6;
+    p.hot_frac = 0.1;   // hot region ~200 KiB: fits only the boosted L1
+    p.total_mem_instrs = 20'000;
+    SyntheticWorkload wl1(p);
+    SyntheticWorkload wl2(p);
+    SystemSetup base;
+    base.compute_sms = 8;
+    SystemSetup unified = base;
+    unified.l1_bonus_bytes = 140 * 1024;
+    GpuSystem s1(base, wl1);
+    GpuSystem s2(unified, wl2);
+    const RunResult r1 = s1.run();
+    const RunResult r2 = s2.run();
+    const double hit1 = static_cast<double>(r1.l1_hits) / (r1.l1_hits + r1.l1_misses);
+    const double hit2 = static_cast<double>(r2.l1_hits) / (r2.l1_hits + r2.l1_misses);
+    EXPECT_GT(hit2, hit1);
+}
+
+TEST(GpuSystemMisc, MaxCyclesGuardStopsRunaway)
+{
+    WorkloadParams p = tiny();
+    p.total_mem_instrs = 500'000;
+    SyntheticWorkload wl(p);
+    SystemSetup setup;
+    setup.compute_sms = 2;
+    setup.cfg.max_cycles = 5'000;
+    GpuSystem sys(setup, wl);
+    const RunResult r = sys.run();
+    EXPECT_LE(r.cycles, 6'000u);
+}
+
+TEST(GpuSystemMisc, ControllerAccessorsExposeState)
+{
+    SyntheticWorkload wl(tiny());
+    SystemSetup setup;
+    setup.compute_sms = 4;
+    setup.morpheus.enabled = true;
+    setup.morpheus.cache_sms = 4;
+    GpuSystem sys(setup, wl);
+    EXPECT_NE(sys.extended_llc(), nullptr);
+    EXPECT_NE(sys.controller(0), nullptr);
+    EXPECT_EQ(sys.num_partitions(), 10u);
+    EXPECT_EQ(sys.num_compute_sms(), 4u);
+    EXPECT_TRUE(sys.extended_llc()->enabled());
+}
+
+TEST(GpuSystemMisc, MorpheusDisabledHasNoControllers)
+{
+    SyntheticWorkload wl(tiny());
+    SystemSetup setup;
+    setup.compute_sms = 4;
+    GpuSystem sys(setup, wl);
+    EXPECT_EQ(sys.extended_llc(), nullptr);
+    EXPECT_EQ(sys.controller(0), nullptr);
+}

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "morpheus/indirect_mov.hpp"
+#include "sim/rng.hpp"
+
+using namespace morpheus;
+
+namespace {
+
+Block
+block_with(std::uint8_t fill)
+{
+    Block b;
+    b.fill(fill);
+    return b;
+}
+
+} // namespace
+
+TEST(IndirectMovCost, SoftwareVsHardware)
+{
+    // Algorithm 2: brx.idx + MOV + return = 3 instructions plus a
+    // branch bubble; the §4.3.2 ISA extension needs one instruction.
+    EXPECT_EQ(indirect_mov_cost(false).instructions, 3u);
+    EXPECT_GT(indirect_mov_cost(false).total_issue_slots(), 3u);
+    EXPECT_EQ(indirect_mov_cost(true).instructions, 1u);
+    EXPECT_EQ(indirect_mov_cost(true).total_issue_slots(), 1u);
+}
+
+TEST(WarpSet, TagLookupMissOnEmpty)
+{
+    WarpSetEmulator warp;
+    EXPECT_FALSE(warp.tag_lookup(0x42).hit);
+}
+
+TEST(WarpSet, InsertThenLookupHitsAtRightIndex)
+{
+    WarpSetEmulator warp;
+    warp.insert(0x42, block_with(7), false);
+    const auto r = warp.tag_lookup(0x42);
+    ASSERT_TRUE(r.hit);
+    EXPECT_EQ(warp.indirect_mov_read(r.block_index), block_with(7));
+}
+
+TEST(WarpSet, IndirectMovReadsEveryRegister)
+{
+    WarpSetEmulator warp;
+    for (std::uint32_t i = 0; i < WarpSetEmulator::kBlocks; ++i)
+        warp.indirect_mov_write(i, block_with(static_cast<std::uint8_t>(i)));
+    for (std::uint32_t i = 0; i < WarpSetEmulator::kBlocks; ++i)
+        EXPECT_EQ(warp.indirect_mov_read(i)[0], i);
+}
+
+TEST(WarpSet, FillsAllThirtyTwoWays)
+{
+    WarpSetEmulator warp;
+    for (std::uint64_t t = 0; t < 32; ++t)
+        warp.insert(t, block_with(static_cast<std::uint8_t>(t)), false);
+    EXPECT_EQ(warp.valid_blocks(), 32u);
+    for (std::uint64_t t = 0; t < 32; ++t)
+        EXPECT_TRUE(warp.contains(t));
+}
+
+TEST(WarpSet, LruEvictionPicksColdestBlock)
+{
+    WarpSetEmulator warp;
+    for (std::uint64_t t = 0; t < 32; ++t)
+        warp.insert(t, block_with(0), false);
+    // Touch everything except tag 5 (several rounds, to push its counter
+    // down via the decrement-on-other-hits rule of Algorithm 1).
+    for (int round = 0; round < 3; ++round) {
+        for (std::uint64_t t = 0; t < 32; ++t) {
+            if (t != 5)
+                warp.tag_lookup(t);
+        }
+    }
+    warp.insert(100, block_with(1), false);
+    EXPECT_FALSE(warp.contains(5));
+    EXPECT_TRUE(warp.contains(100));
+}
+
+TEST(WarpSet, DirtyVictimReportsWriteback)
+{
+    WarpSetEmulator warp;
+    for (std::uint64_t t = 0; t < 32; ++t)
+        warp.insert(t, block_with(0), t == 0);  // tag 0 dirty
+    for (int round = 0; round < 3; ++round) {
+        for (std::uint64_t t = 1; t < 32; ++t)
+            warp.tag_lookup(t);
+    }
+    const auto wb = warp.insert(200, block_with(0), false);
+    ASSERT_TRUE(wb.has_value());
+    EXPECT_EQ(*wb, 0u);
+}
+
+TEST(WarpSet, WriteHitMarksDirtyAndUpdatesData)
+{
+    WarpSetEmulator warp;
+    warp.insert(9, block_with(1), false);
+    EXPECT_TRUE(warp.write_hit(9, block_with(2)));
+    const auto r = warp.tag_lookup(9);
+    ASSERT_TRUE(r.hit);
+    EXPECT_EQ(warp.indirect_mov_read(r.block_index)[0], 2);
+    EXPECT_FALSE(warp.write_hit(999, block_with(3)));
+}
+
+/** Property: the emulator behaves as a 32-entry fully associative cache. */
+TEST(WarpSet, RandomTrafficAgainstReferenceModel)
+{
+    WarpSetEmulator warp;
+    Rng rng(0xFACE);
+    std::vector<std::uint64_t> reference;  // tags in LRU order (front = LRU)
+    for (int i = 0; i < 2000; ++i) {
+        const std::uint64_t tag = rng.next_below(64);
+        const auto r = warp.tag_lookup(tag);
+        const auto it = std::find(reference.begin(), reference.end(), tag);
+        const bool ref_hit = it != reference.end();
+        ASSERT_EQ(r.hit, ref_hit) << "step " << i;
+        if (ref_hit) {
+            reference.erase(it);
+            reference.push_back(tag);
+        } else {
+            warp.insert(tag, block_with(static_cast<std::uint8_t>(tag)), false);
+            if (reference.size() == 32)
+                reference.erase(reference.begin());
+            reference.push_back(tag);
+        }
+    }
+}

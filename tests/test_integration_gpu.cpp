@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "gpu/gpu_system.hpp"
+#include "workloads/synthetic_workload.hpp"
+
+using namespace morpheus;
+
+namespace {
+
+WorkloadParams
+small_app(std::uint64_t ws_bytes, std::uint32_t alu)
+{
+    WorkloadParams p;
+    p.name = "int-test";
+    p.alu_per_mem = alu;
+    p.lines_per_mem = 2;
+    p.shared_ws_bytes = ws_bytes;
+    p.warps_per_sm = 16;
+    p.total_mem_instrs = 12'000;
+    return p;
+}
+
+RunResult
+run(const WorkloadParams &params, std::uint32_t sms, std::uint64_t llc_bytes = 0)
+{
+    SyntheticWorkload wl(params);
+    SystemSetup setup;
+    setup.compute_sms = sms;
+    if (llc_bytes)
+        setup.cfg.llc_bytes = llc_bytes;
+    GpuSystem sys(setup, wl);
+    return sys.run();
+}
+
+} // namespace
+
+TEST(GpuIntegration, RunCompletesAndCountsInstructions)
+{
+    const RunResult r = run(small_app(1 << 20, 4), 8);
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_GE(r.instructions, 12'000u);
+    EXPECT_GT(r.ipc, 0.0);
+    EXPECT_EQ(r.ext_requests, 0u);  // Morpheus off
+}
+
+TEST(GpuIntegration, DeterministicAcrossRuns)
+{
+    const WorkloadParams p = small_app(1 << 20, 4);
+    const RunResult a = run(p, 8);
+    const RunResult b = run(p, 8);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.dram_reads, b.dram_reads);
+}
+
+TEST(GpuIntegration, MoreSmsHelpComputeBoundLinearly)
+{
+    WorkloadParams p = small_app(256 << 10, 48);
+    p.total_mem_instrs = 6'000;
+    const RunResult r4 = run(p, 4);
+    const RunResult r16 = run(p, 16);
+    const double speedup = static_cast<double>(r4.cycles) / static_cast<double>(r16.cycles);
+    EXPECT_GT(speedup, 2.5);  // near-linear 4x
+}
+
+TEST(GpuIntegration, SmallWorkingSetHitsInLlc)
+{
+    const RunResult small = run(small_app(1 << 20, 2), 16);
+    const RunResult big = run(small_app(32 << 20, 2), 16);
+    const double small_miss =
+        static_cast<double>(small.dram_reads) / static_cast<double>(small.llc_accesses);
+    const double big_miss =
+        static_cast<double>(big.dram_reads) / static_cast<double>(big.llc_accesses);
+    EXPECT_LT(small_miss, big_miss * 0.7);
+    EXPECT_LT(small.cycles, big.cycles);
+}
+
+TEST(GpuIntegration, BiggerLlcHelpsOverflowingWorkingSet)
+{
+    WorkloadParams p = small_app(12 << 20, 2);
+    p.total_mem_instrs = 60'000;  // several reuse passes
+    const RunResult base = run(p, 32);
+    const RunResult big = run(p, 32, 20ULL << 20);
+    EXPECT_LT(static_cast<double>(big.cycles), static_cast<double>(base.cycles) * 0.95);
+    EXPECT_LT(big.dram_reads, base.dram_reads);
+}
+
+TEST(GpuIntegration, MemoryBoundWorkloadSaturatesDram)
+{
+    WorkloadParams p = small_app(24 << 20, 1);
+    p.total_mem_instrs = 40'000;
+    const RunResult r = run(p, 64);
+    EXPECT_GT(r.dram_utilization, 0.5);
+}
+
+TEST(GpuIntegration, EnergyAccountsForRuntimeAndTraffic)
+{
+    const RunResult r = run(small_app(4 << 20, 4), 16);
+    EXPECT_GT(r.energy.total_j(), 0.0);
+    EXPECT_GT(r.energy.dram_j, 0.0);
+    EXPECT_GT(r.energy.static_j, 0.0);
+    EXPECT_GT(r.avg_watts, 50.0);
+    EXPECT_LT(r.avg_watts, 600.0);
+    EXPECT_EQ(r.energy.controller_j, 0.0);  // Morpheus off
+}
+
+TEST(GpuIntegration, NocStatsPopulated)
+{
+    const RunResult r = run(small_app(8 << 20, 2), 16);
+    EXPECT_GT(r.noc_bytes, 0u);
+    EXPECT_GT(r.noc_injection_rate, 0.0);
+    EXPECT_GT(r.noc_avg_latency, 0.0);
+}

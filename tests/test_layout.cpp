@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "morpheus/layout.hpp"
+
+using namespace morpheus;
+
+namespace {
+constexpr std::uint64_t kRf = 256 * 1024;
+}
+
+TEST(Layout, PaperAnchorEightWarpsPeaksCapacity)
+{
+    // Paper Fig. 11a: maximum RF capacity 239 KiB at 8 warps.
+    const RfLayout l = rf_layout(kRf, 8);
+    EXPECT_EQ(l.regs_per_thread, 256u);  // per-thread architectural cap
+    EXPECT_NEAR(static_cast<double>(l.sm_bytes()) / 1024.0, 239.0, 2.0);
+}
+
+TEST(Layout, PaperAnchorFortyEightWarps)
+{
+    // Paper Fig. 8: 42 regs/warp-thread, 32 data blocks, 192 KiB total.
+    const RfLayout l = rf_layout(kRf, 48);
+    EXPECT_EQ(l.regs_per_thread, 42u);
+    EXPECT_EQ(l.data_blocks, 32u);
+    EXPECT_EQ(l.sm_bytes(), 192u * 1024u);
+}
+
+TEST(Layout, OneWarpIsRegisterCapLimited)
+{
+    const RfLayout l = rf_layout(kRf, 1);
+    EXPECT_EQ(l.regs_per_thread, 256u);
+    EXPECT_LT(l.sm_bytes(), 32u * 1024u);  // cannot use the whole RF
+}
+
+TEST(Layout, CapacityCurveShapeMatchesFig11a)
+{
+    // Rises steeply to the 8-warp peak, then declines gently as auxiliary
+    // state grows (paper Fig. 11a).
+    const std::uint64_t c1 = rf_layout(kRf, 1).sm_bytes();
+    const std::uint64_t c8 = rf_layout(kRf, 8).sm_bytes();
+    const std::uint64_t c16 = rf_layout(kRf, 16).sm_bytes();
+    const std::uint64_t c32 = rf_layout(kRf, 32).sm_bytes();
+    const std::uint64_t c48 = rf_layout(kRf, 48).sm_bytes();
+    EXPECT_LT(c1, c8);
+    EXPECT_GT(c8, c16);
+    EXPECT_GT(c16, c32);
+    EXPECT_GT(c32, c48);
+}
+
+TEST(Layout, CombinedConfigMatchesPaperTotal)
+{
+    // §5: 32 RF warps + 16 L1 warps ~ 328 KiB per cache-mode SM.
+    const std::uint64_t total =
+        rf_layout(kRf, 32).sm_bytes() + l1_ext_capacity(128 * 1024);
+    EXPECT_NEAR(static_cast<double>(total) / 1024.0, 328.0, 8.0);
+}
+
+TEST(Layout, L1AndSmemAreWarpCountIndependent)
+{
+    EXPECT_EQ(l1_ext_capacity(128 * 1024), 128u * 1024u);
+    EXPECT_EQ(smem_ext_capacity(128 * 1024), 128u * 1024u);
+}
+
+TEST(Layout, ZeroWarpsYieldsNothing)
+{
+    const RfLayout l = rf_layout(kRf, 0);
+    EXPECT_EQ(l.sm_bytes(), 0u);
+    EXPECT_EQ(l.data_blocks, 0u);
+}

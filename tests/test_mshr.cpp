@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "cache/mshr.hpp"
+
+using namespace morpheus;
+
+TEST(Mshr, FirstMissIsPrimary)
+{
+    MshrTable mshrs(4);
+    bool primary = mshrs.allocate_or_merge(10, [](Cycle, std::uint64_t) {});
+    EXPECT_TRUE(primary);
+    EXPECT_TRUE(mshrs.has(10));
+    EXPECT_EQ(mshrs.outstanding(), 1u);
+}
+
+TEST(Mshr, SecondMissMerges)
+{
+    MshrTable mshrs(4);
+    mshrs.allocate_or_merge(10, [](Cycle, std::uint64_t) {});
+    bool primary = mshrs.allocate_or_merge(10, [](Cycle, std::uint64_t) {});
+    EXPECT_FALSE(primary);
+    EXPECT_EQ(mshrs.outstanding(), 1u);
+    EXPECT_EQ(mshrs.merged(), 1u);
+}
+
+TEST(Mshr, ReleaseReturnsAllWaitersInOrder)
+{
+    MshrTable mshrs;
+    std::vector<int> order;
+    mshrs.allocate_or_merge(7, [&](Cycle, std::uint64_t) { order.push_back(1); });
+    mshrs.allocate_or_merge(7, [&](Cycle, std::uint64_t) { order.push_back(2); });
+    mshrs.allocate_or_merge(7, [&](Cycle, std::uint64_t) { order.push_back(3); });
+    auto waiters = mshrs.release(7);
+    EXPECT_EQ(waiters.size(), 3u);
+    for (auto &w : waiters)
+        w(0, 0);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_FALSE(mshrs.has(7));
+}
+
+TEST(Mshr, FullBlocksNewLinesButNotMerges)
+{
+    MshrTable mshrs(2);
+    mshrs.allocate_or_merge(1, [](Cycle, std::uint64_t) {});
+    mshrs.allocate_or_merge(2, [](Cycle, std::uint64_t) {});
+    EXPECT_TRUE(mshrs.full());
+    // Existing lines can still merge while full.
+    EXPECT_TRUE(mshrs.has(1));
+    EXPECT_FALSE(mshrs.allocate_or_merge(1, [](Cycle, std::uint64_t) {}));
+}
+
+TEST(Mshr, ReleaseOfUnknownLineIsEmpty)
+{
+    MshrTable mshrs;
+    EXPECT_TRUE(mshrs.release(99).empty());
+}
+
+TEST(Mshr, PeakOccupancyTracked)
+{
+    MshrTable mshrs;
+    mshrs.allocate_or_merge(1, [](Cycle, std::uint64_t) {});
+    mshrs.allocate_or_merge(2, [](Cycle, std::uint64_t) {});
+    mshrs.release(1);
+    mshrs.release(2);
+    EXPECT_EQ(mshrs.peak_occupancy(), 2u);
+    EXPECT_EQ(mshrs.outstanding(), 0u);
+}

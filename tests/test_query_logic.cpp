@@ -1,0 +1,42 @@
+#include <gtest/gtest.h>
+
+#include "morpheus/query_logic.hpp"
+
+using namespace morpheus;
+
+TEST(QueryLogic, StorageMatchesPaperFiveKiB)
+{
+    QueryLogic ql;
+    // §7.5: ~5 KiB per partition for the request queue, warp status
+    // table, and read/write data buffers.
+    EXPECT_NEAR(static_cast<double>(ql.storage_bytes()) / 1024.0, 5.0, 0.5);
+}
+
+TEST(QueryLogic, WarpStatusTableSizedForPartitionSets)
+{
+    // §4.1.3: up to 75% of 68 SMs x 48 warps / 10 partitions ~ 245 sets,
+    // rounded to 256 rows.
+    QueryLogicParams p;
+    EXPECT_EQ(p.status_rows, 256u);
+}
+
+TEST(QueryLogic, TracksOutstandingAndPeak)
+{
+    QueryLogic ql;
+    ql.on_enqueue(0);
+    ql.on_enqueue(1);
+    ql.on_enqueue(2);
+    EXPECT_EQ(ql.outstanding(), 3u);
+    ql.on_complete(5);
+    EXPECT_EQ(ql.outstanding(), 2u);
+    EXPECT_EQ(ql.peak_outstanding(), 3u);
+    EXPECT_EQ(ql.total_requests(), 3u);
+    EXPECT_GT(ql.depth().mean(), 1.0);
+}
+
+TEST(QueryLogic, CompleteNeverUnderflows)
+{
+    QueryLogic ql;
+    ql.on_complete(0);
+    EXPECT_EQ(ql.outstanding(), 0u);
+}

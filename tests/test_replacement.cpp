@@ -1,0 +1,48 @@
+#include <gtest/gtest.h>
+
+#include "cache/replacement.hpp"
+
+using namespace morpheus;
+
+TEST(Replacement, LruEvictsLeastRecentlyTouched)
+{
+    ReplacementState lru(4, ReplacementKind::kLru);
+    for (std::uint32_t w = 0; w < 4; ++w)
+        lru.insert(w);
+    lru.touch(0);
+    lru.touch(2);
+    // Way 1 is now the stalest.
+    EXPECT_EQ(lru.victim(), 1u);
+    lru.touch(1);
+    EXPECT_EQ(lru.victim(), 3u);
+}
+
+TEST(Replacement, FifoIgnoresTouches)
+{
+    ReplacementState fifo(4, ReplacementKind::kFifo);
+    for (std::uint32_t w = 0; w < 4; ++w)
+        fifo.insert(w);
+    fifo.touch(0);
+    fifo.touch(0);
+    EXPECT_EQ(fifo.victim(), 0u);  // still the oldest insertion
+    fifo.insert(0);
+    EXPECT_EQ(fifo.victim(), 1u);
+}
+
+TEST(Replacement, RandomIsDeterministicGivenSequence)
+{
+    ReplacementState a(8, ReplacementKind::kRandom);
+    ReplacementState b(8, ReplacementKind::kRandom);
+    for (std::uint32_t w = 0; w < 8; ++w) {
+        a.insert(w);
+        b.insert(w);
+    }
+    EXPECT_EQ(a.victim(), b.victim());
+}
+
+TEST(Replacement, Names)
+{
+    EXPECT_STREQ(replacement_name(ReplacementKind::kLru), "lru");
+    EXPECT_STREQ(replacement_name(ReplacementKind::kFifo), "fifo");
+    EXPECT_STREQ(replacement_name(ReplacementKind::kRandom), "random");
+}

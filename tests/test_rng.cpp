@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+using namespace morpheus;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next_u64() == b.next_u64();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10'000; ++i)
+        EXPECT_LT(rng.next_below(97), 97u);
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform)
+{
+    Rng rng(13);
+    constexpr int kBuckets = 16;
+    constexpr int kSamples = 160'000;
+    int counts[kBuckets] = {};
+    for (int i = 0; i < kSamples; ++i)
+        ++counts[rng.next_below(kBuckets)];
+    for (int c : counts) {
+        EXPECT_GT(c, kSamples / kBuckets * 0.9);
+        EXPECT_LT(c, kSamples / kBuckets * 1.1);
+    }
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng rng(3);
+    double sum = 0;
+    for (int i = 0; i < 10'000; ++i) {
+        const double v = rng.next_double();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+TEST(Zipf, SamplesAreSkewedTowardLowRanks)
+{
+    Rng rng(11);
+    ZipfSampler zipf(10'000, 0.9);
+    std::uint64_t head = 0;
+    constexpr int kSamples = 50'000;
+    for (int i = 0; i < kSamples; ++i) {
+        if (zipf.sample(rng) < 100)
+            ++head;
+    }
+    // The first 1% of ranks should capture far more than 1% of samples.
+    EXPECT_GT(head, kSamples / 20u);
+}
+
+TEST(Zipf, SamplesStayInRange)
+{
+    Rng rng(5);
+    for (double alpha : {0.3, 0.8, 1.0, 1.3}) {
+        ZipfSampler zipf(1000, alpha);
+        for (int i = 0; i < 5'000; ++i)
+            ASSERT_LT(zipf.sample(rng), 1000u) << "alpha=" << alpha;
+    }
+}
+
+TEST(Mix64, IsDeterministicAndSpreads)
+{
+    EXPECT_EQ(mix64(1), mix64(1));
+    std::vector<std::uint64_t> tops;
+    for (std::uint64_t i = 0; i < 64; ++i)
+        tops.push_back(mix64(i) >> 58);
+    std::sort(tops.begin(), tops.end());
+    tops.erase(std::unique(tops.begin(), tops.end()), tops.end());
+    EXPECT_GT(tops.size(), 30u);
+}

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "cache/set_assoc_cache.hpp"
+#include "sim/rng.hpp"
+
+using namespace morpheus;
+
+TEST(SetAssocCache, ColdMissesThenHits)
+{
+    SetAssocCache cache(4, 2);
+    EXPECT_FALSE(cache.read(10).hit);
+    cache.fill(10, 7, false);
+    const auto r = cache.read(10);
+    EXPECT_TRUE(r.hit);
+    EXPECT_EQ(r.version, 7u);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(SetAssocCache, CapacityBytes)
+{
+    SetAssocCache cache(256, 16);
+    EXPECT_EQ(cache.capacity_bytes(), 256u * 16 * kLineBytes);
+}
+
+TEST(SetAssocCache, LruEvictionWithinSet)
+{
+    SetAssocCache cache(1, 2);  // one set, two ways
+    cache.fill(1, 1, false);
+    cache.fill(2, 2, false);
+    cache.read(1);  // line 2 becomes LRU
+    const auto ev = cache.fill(3, 3, false);
+    ASSERT_TRUE(ev.has_value());
+    EXPECT_EQ(ev->line, 2u);
+    EXPECT_TRUE(cache.probe(1));
+    EXPECT_TRUE(cache.probe(3));
+    EXPECT_FALSE(cache.probe(2));
+}
+
+TEST(SetAssocCache, DirtyEvictionReportsWriteback)
+{
+    SetAssocCache cache(1, 1);
+    cache.fill(5, 10, false);
+    cache.write(5, 11);
+    const auto ev = cache.fill(6, 1, false);
+    ASSERT_TRUE(ev.has_value());
+    EXPECT_TRUE(ev->dirty);
+    EXPECT_EQ(ev->version, 11u);
+    EXPECT_EQ(cache.writebacks(), 1u);
+}
+
+TEST(SetAssocCache, CleanEvictionIsSilent)
+{
+    SetAssocCache cache(1, 1);
+    cache.fill(5, 10, false);
+    const auto ev = cache.fill(6, 1, false);
+    ASSERT_TRUE(ev.has_value());
+    EXPECT_FALSE(ev->dirty);
+}
+
+TEST(SetAssocCache, WriteMissDoesNotAllocate)
+{
+    SetAssocCache cache(4, 2);
+    EXPECT_FALSE(cache.write(9, 1).hit);
+    EXPECT_FALSE(cache.probe(9));
+}
+
+TEST(SetAssocCache, RefillOfPresentLineMergesState)
+{
+    SetAssocCache cache(1, 2);
+    cache.fill(1, 5, false);
+    cache.write(1, 9);
+    const auto ev = cache.fill(1, 7, false);  // raced refill with older version
+    EXPECT_FALSE(ev.has_value());
+    const auto r = cache.read(1);
+    EXPECT_EQ(r.version, 9u);  // keeps the newer version and dirtiness
+}
+
+TEST(SetAssocCache, InvalidateDropsLine)
+{
+    SetAssocCache cache(2, 2);
+    cache.fill(3, 1, true);
+    const auto ev = cache.invalidate(3);
+    ASSERT_TRUE(ev.has_value());
+    EXPECT_TRUE(ev->dirty);
+    EXPECT_FALSE(cache.probe(3));
+    EXPECT_FALSE(cache.invalidate(3).has_value());
+}
+
+TEST(SetAssocCache, FlushWritesBackAllDirtyLines)
+{
+    SetAssocCache cache(4, 4);
+    cache.fill(1, 1, true);
+    cache.fill(2, 2, false);
+    cache.fill(3, 3, true);
+    std::unordered_map<LineAddr, std::uint64_t> sink;
+    cache.flush([&](LineAddr line, std::uint64_t version) { sink[line] = version; });
+    EXPECT_EQ(sink.size(), 2u);
+    EXPECT_EQ(sink[1], 1u);
+    EXPECT_EQ(sink[3], 3u);
+    EXPECT_FALSE(cache.probe(2));
+}
+
+TEST(SetAssocCache, HashedIndexSpreadsConflictingLowBits)
+{
+    // Lines that share low bits collide in a low-bit-indexed cache but
+    // spread under hashed indexing.
+    SetAssocCache plain(16, 1, ReplacementKind::kLru, false);
+    SetAssocCache hashed(16, 1, ReplacementKind::kLru, true);
+    int plain_same = 0;
+    int hashed_same = 0;
+    for (LineAddr l = 0; l < 32; ++l) {
+        plain_same += plain.set_index(l * 16) == plain.set_index(0);
+        hashed_same += hashed.set_index(l * 16) == hashed.set_index(0);
+    }
+    EXPECT_EQ(plain_same, 32);
+    EXPECT_LT(hashed_same, 8);
+}
+
+/** Property: steady-state hit rate tracks capacity/footprint. */
+class CacheHitRate : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(CacheHitRate, UniformRandomHitRateTracksCapacityRatio)
+{
+    const std::uint32_t footprint_lines = GetParam();
+    SetAssocCache cache(64, 8, ReplacementKind::kLru, true);  // 512 lines
+    Rng rng(footprint_lines);
+    std::uint64_t hits = 0;
+    constexpr int kWarmup = 20'000;
+    constexpr int kMeasure = 60'000;
+    for (int i = 0; i < kWarmup + kMeasure; ++i) {
+        const LineAddr line = rng.next_below(footprint_lines);
+        const auto r = cache.read(line);
+        if (!r.hit)
+            cache.fill(line, 1, false);
+        else if (i >= kWarmup)
+            ++hits;
+    }
+    const double measured = static_cast<double>(hits) / kMeasure;
+    const double expected =
+        std::min(1.0, 512.0 / static_cast<double>(footprint_lines));
+    EXPECT_NEAR(measured, expected, 0.12) << "footprint=" << footprint_lines;
+}
+
+INSTANTIATE_TEST_SUITE_P(Footprints, CacheHitRate,
+                         ::testing::Values(256u, 1024u, 2048u, 4096u));

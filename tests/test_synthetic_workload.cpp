@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/synthetic_workload.hpp"
+
+using namespace morpheus;
+
+namespace {
+
+WorkloadParams
+base_params()
+{
+    WorkloadParams p;
+    p.name = "wl-test";
+    p.alu_per_mem = 4;
+    p.lines_per_mem = 2;
+    p.shared_ws_bytes = 1 << 20;
+    p.warps_per_sm = 4;
+    p.total_mem_instrs = 1000;
+    return p;
+}
+
+} // namespace
+
+TEST(SyntheticWorkload, TotalWorkIsFixedAcrossSmCounts)
+{
+    for (std::uint32_t sms : {2u, 5u, 10u}) {
+        SyntheticWorkload wl(base_params());
+        wl.configure(sms);
+        std::uint64_t steps = 0;
+        WarpStep step;
+        for (std::uint32_t sm = 0; sm < sms; ++sm) {
+            for (std::uint32_t w = 0; w < wl.warps_on(sm); ++w) {
+                while (wl.next_step(sm, w, step))
+                    ++steps;
+            }
+        }
+        EXPECT_EQ(steps, 1000u) << "sms=" << sms;
+    }
+}
+
+TEST(SyntheticWorkload, StepsCarryAluAndMemWork)
+{
+    SyntheticWorkload wl(base_params());
+    wl.configure(2);
+    WarpStep step;
+    ASSERT_TRUE(wl.next_step(0, 0, step));
+    EXPECT_GE(step.num_lines, 1u);
+    EXPECT_LE(step.num_lines, 2u);
+    EXPECT_GE(step.instructions(), step.alu_instrs);
+}
+
+TEST(SyntheticWorkload, WriteAndAtomicFractionsRespected)
+{
+    WorkloadParams p = base_params();
+    p.total_mem_instrs = 20'000;
+    p.write_frac = 0.3;
+    p.atomic_frac = 0.1;
+    SyntheticWorkload wl(p);
+    wl.configure(2);
+    int reads = 0;
+    int writes = 0;
+    int atomics = 0;
+    WarpStep step;
+    for (std::uint32_t sm = 0; sm < 2; ++sm) {
+        for (std::uint32_t w = 0; w < 4; ++w) {
+            while (wl.next_step(sm, w, step)) {
+                switch (step.type) {
+                  case AccessType::kRead:
+                    ++reads;
+                    break;
+                  case AccessType::kWrite:
+                    ++writes;
+                    break;
+                  default:
+                    ++atomics;
+                    break;
+                }
+            }
+        }
+    }
+    const double total = reads + writes + atomics;
+    EXPECT_NEAR(writes / total, 0.3, 0.03);
+    EXPECT_NEAR(atomics / total, 0.1, 0.02);
+}
+
+TEST(SyntheticWorkload, DeterministicAcrossInstances)
+{
+    SyntheticWorkload a(base_params());
+    SyntheticWorkload b(base_params());
+    a.configure(3);
+    b.configure(3);
+    WarpStep sa;
+    WarpStep sb;
+    for (int i = 0; i < 200; ++i) {
+        const bool ra = a.next_step(1, 2, sa);
+        const bool rb = b.next_step(1, 2, sb);
+        ASSERT_EQ(ra, rb);
+        if (!ra)
+            break;
+        ASSERT_EQ(sa.alu_instrs, sb.alu_instrs);
+        ASSERT_EQ(sa.num_lines, sb.num_lines);
+        for (std::uint32_t j = 0; j < sa.num_lines; ++j)
+            ASSERT_EQ(sa.lines[j], sb.lines[j]);
+    }
+}
+
+TEST(SyntheticWorkload, FootprintGrowsWithPrivateRegions)
+{
+    WorkloadParams p = base_params();
+    p.per_warp_ws_bytes = 4096;
+    SyntheticWorkload wl(p);
+    wl.configure(10);
+    EXPECT_EQ(wl.footprint_bytes(),
+              p.shared_ws_bytes + 4096ull * 10 * p.warps_per_sm);
+}
+
+TEST(SyntheticWorkload, PrivateRegionsAreDisjointAcrossWarps)
+{
+    WorkloadParams p = base_params();
+    p.pattern = PatternKind::kPrivateLoop;
+    p.per_warp_ws_bytes = 1024;
+    p.reuse_frac = 0;
+    p.total_mem_instrs = 640;
+    SyntheticWorkload wl(p);
+    wl.configure(2);
+    std::set<LineAddr> warp_a;
+    std::set<LineAddr> warp_b;
+    WarpStep step;
+    while (wl.next_step(0, 0, step))
+        warp_a.insert(step.lines, step.lines + step.num_lines);
+    while (wl.next_step(1, 1, step))
+        warp_b.insert(step.lines, step.lines + step.num_lines);
+    for (LineAddr l : warp_a)
+        EXPECT_EQ(warp_b.count(l), 0u);
+}
+
+TEST(SyntheticWorkload, BlockSynthesisUsesProfile)
+{
+    WorkloadParams p = base_params();
+    p.data.high_frac = 1.0;
+    p.data.low_frac = 0.0;
+    SyntheticWorkload wl(p);
+    const Block b = wl.synthesize_block(3);
+    EXPECT_LE(bdi_compress(b).size_bytes, 32u);
+}

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "harness/system_config.hpp"
+#include "morpheus/layout.hpp"
+
+using namespace morpheus;
+
+namespace {
+const AppSpec &
+kmeans()
+{
+    return *find_app("kmeans");
+}
+} // namespace
+
+TEST(SystemConfig, BaselineUsesAllSmsAndFairnessBonus)
+{
+    const SystemSetup bl = make_system(SystemKind::kBL, kmeans());
+    EXPECT_EQ(bl.compute_sms, 68u);
+    EXPECT_FALSE(bl.morpheus.enabled);
+    // Morpheus's 21 KiB/partition storage folded into the LLC (§6).
+    EXPECT_EQ(bl.cfg.llc_bytes,
+              GpuConfig{}.llc_bytes + morpheus_storage_per_partition_bytes() * 10);
+}
+
+TEST(SystemConfig, MorpheusStoragePerPartitionIsTwentyOneKiB)
+{
+    EXPECT_NEAR(static_cast<double>(morpheus_storage_per_partition_bytes()) / 1024.0, 21.0,
+                1.5);
+}
+
+TEST(SystemConfig, IblUsesBestCoreCount)
+{
+    const SystemSetup ibl = make_system(SystemKind::kIBL, kmeans());
+    EXPECT_EQ(ibl.compute_sms, kmeans().ibl_sms);
+    EXPECT_FALSE(ibl.morpheus.enabled);
+}
+
+TEST(SystemConfig, Ibl4xQuadruplesCapacityAndBanks)
+{
+    const SystemSetup i4 = make_system(SystemKind::kIBL4xLLC, kmeans());
+    EXPECT_GE(i4.cfg.llc_bytes, 4 * GpuConfig{}.llc_bytes);
+    EXPECT_EQ(i4.cfg.llc_banks, 4 * GpuConfig{}.llc_banks);
+}
+
+TEST(SystemConfig, FrequencyBoostScalesWithGatedCores)
+{
+    const SystemSetup fb = make_system(SystemKind::kFrequencyBoost, kmeans());
+    // kmeans gates 44 of 68 cores: 10-20% boost.
+    EXPECT_GT(fb.cfg.mem_frequency_scale, 1.1);
+    EXPECT_LE(fb.cfg.mem_frequency_scale, 1.2);
+    // A full-core app gets no boost.
+    const SystemSetup none = make_system(SystemKind::kFrequencyBoost, *find_app("cfd"));
+    EXPECT_DOUBLE_EQ(none.cfg.mem_frequency_scale, 1.0);  // nothing gated
+}
+
+TEST(SystemConfig, UnifiedSmMemAddsRfSpaceToL1)
+{
+    const SystemSetup u = make_system(SystemKind::kUnifiedSmMem, kmeans());
+    EXPECT_GT(u.l1_bonus_bytes, 100u * 1024u);
+    EXPECT_LE(u.l1_bonus_bytes, GpuConfig{}.rf_bytes);
+}
+
+TEST(SystemConfig, MorpheusVariantsToggleOptimizations)
+{
+    const SystemSetup basic = make_system(SystemKind::kMorpheusBasic, kmeans());
+    EXPECT_TRUE(basic.morpheus.enabled);
+    EXPECT_FALSE(basic.morpheus.kernel.compression);
+    EXPECT_FALSE(basic.morpheus.kernel.hw_indirect_mov);
+
+    const SystemSetup comp = make_system(SystemKind::kMorpheusCompression, kmeans());
+    EXPECT_TRUE(comp.morpheus.kernel.compression);
+    EXPECT_FALSE(comp.morpheus.kernel.hw_indirect_mov);
+
+    const SystemSetup mov = make_system(SystemKind::kMorpheusIndirectMov, kmeans());
+    EXPECT_FALSE(mov.morpheus.kernel.compression);
+    EXPECT_TRUE(mov.morpheus.kernel.hw_indirect_mov);
+
+    const SystemSetup all = make_system(SystemKind::kMorpheusAll, kmeans());
+    EXPECT_TRUE(all.morpheus.kernel.compression);
+    EXPECT_TRUE(all.morpheus.kernel.hw_indirect_mov);
+    EXPECT_EQ(all.compute_sms + all.morpheus.cache_sms, 68u);  // rest lent to the LLC
+}
+
+TEST(SystemConfig, ComputeBoundAppsKeepAllCoresInComputeMode)
+{
+    const SystemSetup all = make_system(SystemKind::kMorpheusAll, *find_app("lib"));
+    EXPECT_EQ(all.compute_sms, 68u);
+    EXPECT_EQ(all.morpheus.cache_sms, 0u);
+}
+
+TEST(SystemConfig, LargerLlcMatchesMorpheusTotalCapacity)
+{
+    const SystemSetup larger = make_system(SystemKind::kLargerLlc, kmeans());
+    const std::uint32_t cache_sms = 68 - kmeans().morpheus_all_sms;
+    const std::uint64_t expected =
+        GpuConfig{}.llc_bytes + morpheus_storage_per_partition_bytes() * 10 +
+        cache_sms * ext_capacity_per_cache_sm(GpuConfig{});
+    EXPECT_EQ(larger.cfg.llc_bytes, expected);
+    EXPECT_EQ(larger.cfg.llc_banks, GpuConfig{}.llc_banks);  // same banks (§7.4)
+}
+
+TEST(SystemConfig, ExtCapacityPerCacheSmMatchesPaper)
+{
+    EXPECT_NEAR(static_cast<double>(ext_capacity_per_cache_sm(GpuConfig{})) / 1024.0, 328.0,
+                8.0);
+}
+
+TEST(SystemConfig, Fig12ListsEightSystems)
+{
+    EXPECT_EQ(fig12_systems().size(), 8u);
+    EXPECT_STREQ(system_name(SystemKind::kBL), "BL");
+    EXPECT_STREQ(system_name(SystemKind::kMorpheusAll), "Morpheus-ALL");
+}

@@ -1,0 +1,48 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/runner.hpp"
+#include "harness/table.hpp"
+
+using namespace morpheus;
+
+TEST(Table, RendersAlignedColumns)
+{
+    Table t({"name", "value"});
+    t.add_row({"a", "1"});
+    t.add_row({"longer-name", "22"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("longer-name"), std::string::npos);
+    // Header underline present.
+    EXPECT_NE(s.find("---"), std::string::npos);
+    // All lines equal width for the header block.
+    const auto first_nl = s.find('\n');
+    EXPECT_GT(first_nl, 10u);
+}
+
+TEST(Table, ShortRowsArePadded)
+{
+    Table t({"a", "b", "c"});
+    t.add_row({"x"});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find('x'), std::string::npos);
+}
+
+TEST(Fmt, FormatsPrecision)
+{
+    EXPECT_EQ(fmt(1.23456), "1.23");
+    EXPECT_EQ(fmt(1.23456, 1), "1.2");
+    EXPECT_EQ(fmt(2.0, 0), "2");
+}
+
+TEST(Geomean, ComputesGeometricMean)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0, 1.0}), 2.0);
+    EXPECT_DOUBLE_EQ(geomean({2.0, 2.0, 2.0}), 2.0);
+    EXPECT_EQ(geomean({}), 0.0);
+}

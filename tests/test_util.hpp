@@ -1,0 +1,66 @@
+#ifndef MORPHEUS_TESTS_TEST_UTIL_HPP_
+#define MORPHEUS_TESTS_TEST_UTIL_HPP_
+
+#include <functional>
+
+#include "gpu/gpu_config.hpp"
+#include "gpu/mem_request.hpp"
+#include "mem/backing_store.hpp"
+#include "mem/dram.hpp"
+#include "noc/crossbar.hpp"
+#include "power/energy_model.hpp"
+#include "sim/event_queue.hpp"
+
+namespace morpheus::test {
+
+/** Bundles the fabric plumbing components for unit tests. */
+struct TestFabric
+{
+    GpuConfig cfg{};
+    EventQueue eq;
+    EnergyModel energy;
+    Crossbar noc{NocParams{}};
+    DramModel dram;
+    BackingStore store;
+
+    FabricContext
+    ctx()
+    {
+        return FabricContext{&eq, &noc, &dram, &store, &energy, &cfg};
+    }
+};
+
+/**
+ * A scriptable LLC-side router: completes every request after a fixed
+ * delay with the backing store's version (bumping it for writes/atomics).
+ */
+class FakeRouter : public LlcRouter
+{
+  public:
+    FakeRouter(TestFabric &fabric, Cycle delay) : fabric_(fabric), delay_(delay) {}
+
+    void
+    to_llc(Cycle when, const MemRequest &req, RespFn resp) override
+    {
+        ++requests;
+        const Cycle done = when + delay_;
+        fabric_.eq.schedule(done, [this, req, done, resp = std::move(resp)] {
+            std::uint64_t version = fabric_.store.read(req.line);
+            if (req.type != AccessType::kRead) {
+                version = std::max(version, req.write_version);
+                fabric_.store.write(req.line, version);
+            }
+            resp(done, version);
+        });
+    }
+
+    int requests = 0;
+
+  private:
+    TestFabric &fabric_;
+    Cycle delay_;
+};
+
+} // namespace morpheus::test
+
+#endif // MORPHEUS_TESTS_TEST_UTIL_HPP_
