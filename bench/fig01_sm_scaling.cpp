@@ -1,51 +1,13 @@
 /**
  * @file
- * Reproduces Figure 1: normalized IPC of all 17 applications as the
- * number of compute SMs scales from 10 to 68 on the baseline GPU.
- *
- * Expected shapes (paper §3): the 9 saturating memory-bound apps flatten
- * out; the 5 thrash-class apps (kmeans, histo, mri-gri, spmv, lbm) peak
- * and then *lose* performance; the 3 compute-bound apps keep scaling.
+ * Driver stub for the "fig01_sm_scaling" scenario (see src/scenarios/). Runs the same
+ * sweep as `morpheus_cli --scenario fig01_sm_scaling`; accepts --jobs N and
+ * --format text|csv|json.
  */
-#include <algorithm>
-#include <cstdio>
-#include <vector>
-
-#include "harness/runner.hpp"
-#include "harness/table.hpp"
-
-using namespace morpheus;
+#include "harness/scenario.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
-    const std::vector<std::uint32_t> sm_counts = {10, 20, 30, 40, 50, 60, 68};
-
-    std::vector<std::string> headers = {"app (norm. IPC @10 SMs)"};
-    for (auto n : sm_counts)
-        headers.push_back(std::to_string(n));
-    headers.push_back("shape");
-    Table table(headers);
-
-    for (const auto &app : app_catalog()) {
-        std::vector<double> ipc;
-        for (auto n : sm_counts)
-            ipc.push_back(run_with_sms(app, n).ipc);
-
-        std::vector<std::string> row = {app.params.name};
-        for (double v : ipc)
-            row.push_back(fmt(v / ipc.front()));
-
-        // Classify the measured shape for quick visual checking.
-        const double peak = *std::max_element(ipc.begin(), ipc.end());
-        const double last = ipc.back();
-        const char *shape = "scaling";
-        if (app.params.memory_bound)
-            shape = last < 0.9 * peak ? "peak-then-drop" : "saturating";
-        row.push_back(shape);
-        table.add_row(std::move(row));
-    }
-    table.print();
-    std::printf("\n(IPC normalized to the 10-SM configuration, as in the paper's y-axes.)\n");
-    return 0;
+    return morpheus::scenario_main("fig01_sm_scaling", argc, argv);
 }

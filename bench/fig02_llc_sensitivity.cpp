@@ -1,57 +1,13 @@
 /**
  * @file
- * Reproduces Figure 2: best-achievable normalized IPC of the 14
- * memory-bound applications with 1x / 2x / 4x conventional LLC capacity.
- *
- * The paper varies the SM count per configuration and reports the
- * maximum; we sweep the same SM grid. Paper anchors: every app improves
- * with a larger LLC; 4x reaches up to 2.34x (kmeans) and 1.57x gmean.
+ * Driver stub for the "fig02_llc_sensitivity" scenario (see src/scenarios/). Runs the same
+ * sweep as `morpheus_cli --scenario fig02_llc_sensitivity`; accepts --jobs N and
+ * --format text|csv|json.
  */
-#include <algorithm>
-#include <cstdio>
-#include <vector>
-
-#include "harness/runner.hpp"
-#include "harness/table.hpp"
-
-using namespace morpheus;
-
-namespace {
-
-/** Best IPC over the SM grid for a given LLC size. */
-double
-best_ipc(const AppSpec &app, std::uint64_t llc_bytes)
-{
-    const std::vector<std::uint32_t> sm_counts = {10, 20, 30, 40, 50, 60, 68};
-    double best = 0;
-    for (auto n : sm_counts)
-        best = std::max(best, run_with_sms(app, n, llc_bytes).ipc);
-    return best;
-}
-
-} // namespace
+#include "harness/scenario.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
-    const std::uint64_t base_llc = GpuConfig{}.llc_bytes;
-
-    Table table({"app", "1X-LLC", "2X-LLC", "4X-LLC"});
-    std::vector<double> g2;
-    std::vector<double> g4;
-
-    for (const auto &app : app_catalog()) {
-        if (!app.params.memory_bound)
-            continue;
-        const double x1 = best_ipc(app, base_llc);
-        const double x2 = best_ipc(app, 2 * base_llc);
-        const double x4 = best_ipc(app, 4 * base_llc);
-        table.add_row({app.params.name, "1.00", fmt(x2 / x1), fmt(x4 / x1)});
-        g2.push_back(x2 / x1);
-        g4.push_back(x4 / x1);
-    }
-    table.add_row({"gmean", "1.00", fmt(geomean(g2)), fmt(geomean(g4))});
-    table.print();
-    std::printf("\n(paper: 4X-LLC up to 2.34x on kmeans, 1.57x gmean)\n");
-    return 0;
+    return morpheus::scenario_main("fig02_llc_sensitivity", argc, argv);
 }

@@ -1,108 +1,13 @@
 /**
  * @file
- * Reproduces Figure 5: unloaded latency timelines for LLC hits, misses,
- * and predicted misses on a Morpheus-enabled GPU.
- *
- * Paper reference points (ns): conventional hit ~160, conventional miss
- * ~608, extended hit ~325 (>= 300, Fig. 11b), extended (mispredicted)
- * miss ~773, correctly predicted miss ~608 (as fast as a conventional
- * miss).
+ * Driver stub for the "fig05_latency_timeline" scenario (see src/scenarios/). Runs the same
+ * sweep as `morpheus_cli --scenario fig05_latency_timeline`; accepts --jobs N and
+ * --format text|csv|json.
  */
-#include <cstdio>
-
-#include "gpu/gpu_system.hpp"
-#include "harness/table.hpp"
-#include "morpheus/morpheus_controller.hpp"
-#include "workloads/synthetic_workload.hpp"
-
-using namespace morpheus;
-
-namespace {
-
-/** Sends one request through the idle system and returns its latency. */
-Cycle
-probe(GpuSystem &sys, LineAddr line, AccessType type)
-{
-    Cycle done = 0;
-    std::uint64_t version = type == AccessType::kWrite ? sys.store().next_version() : 0;
-    const Cycle start = sys.event_queue().now();
-    MemRequest req{line, type, 0, version};
-    sys.to_llc(start, req, [&done](Cycle when, std::uint64_t) { done = when; });
-    sys.event_queue().run();
-    return done - start;
-}
-
-/** Lets in-flight insertions settle. */
-void
-settle(GpuSystem &sys)
-{
-    sys.event_queue().run();
-}
-
-} // namespace
+#include "harness/scenario.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
-    WorkloadParams params;
-    params.name = "fig05-probe";
-    params.total_mem_instrs = 0;  // probes only; no application traffic
-
-    SystemSetup setup;
-    setup.compute_sms = 42;
-    setup.morpheus.enabled = true;
-    setup.morpheus.cache_sms = 26;
-    setup.morpheus.prediction = PredictionMode::kBloom;
-
-    SyntheticWorkload workload(params);
-    GpuSystem sys(setup, workload);
-    ExtendedLlc *ext = sys.extended_llc();
-
-    // Find representative lines in each address partition.
-    LineAddr conv_line = 0;
-    while (ext->is_extended(conv_line))
-        ++conv_line;
-    LineAddr ext_line = 0;
-    while (!ext->is_extended(ext_line))
-        ++ext_line;
-    LineAddr ext_line2 = ext_line + 1;
-    while (!ext->is_extended(ext_line2))
-        ++ext_line2;
-
-    // Conventional LLC: first touch misses, second hits.
-    const Cycle conv_miss = probe(sys, conv_line, AccessType::kRead);
-    const Cycle conv_hit = probe(sys, conv_line, AccessType::kRead);
-
-    // Extended LLC: the first touch is a correctly predicted miss (served
-    // from DRAM at conventional-miss speed, inserted off the critical
-    // path); once resident, the second touch is an extended hit.
-    const Cycle pred_miss = probe(sys, ext_line, AccessType::kRead);
-    settle(sys);
-    const Cycle ext_hit = probe(sys, ext_line, AccessType::kRead);
-
-    // A mispredicted extended miss: force a forward of an absent line by
-    // disabling prediction on a fresh system.
-    SystemSetup no_pred = setup;
-    no_pred.morpheus.prediction = PredictionMode::kNone;
-    SyntheticWorkload workload2(params);
-    GpuSystem sys2(no_pred, workload2);
-    LineAddr ext_line3 = 0;
-    while (!sys2.extended_llc()->is_extended(ext_line3))
-        ++ext_line3;
-    const Cycle ext_miss = probe(sys2, ext_line3, AccessType::kRead);
-
-    Table table({"event", "paper (ns)", "measured (cycles ~ ns)"});
-    table.add_row({"conventional LLC hit", "~160", std::to_string(conv_hit)});
-    table.add_row({"conventional LLC miss", "~608", std::to_string(conv_miss)});
-    table.add_row({"extended LLC hit", ">=300 (~325)", std::to_string(ext_hit)});
-    table.add_row({"extended LLC miss (mispredicted)", "~773", std::to_string(ext_miss)});
-    table.add_row({"extended LLC predicted miss", "~608", std::to_string(pred_miss)});
-    table.print();
-
-    std::printf("\nextended-miss penalty over conventional miss: %+lld cycles "
-                "(paper: +165 ns)\n",
-                static_cast<long long>(ext_miss) - static_cast<long long>(conv_miss));
-    std::printf("predicted-miss savings vs mispredicted miss: %lld cycles\n",
-                static_cast<long long>(ext_miss) - static_cast<long long>(pred_miss));
-    return 0;
+    return morpheus::scenario_main("fig05_latency_timeline", argc, argv);
 }

@@ -1,73 +1,13 @@
 /**
  * @file
- * Reproduces Figure 12: execution time (top) and performance/watt
- * (bottom) of the eight evaluated systems, normalized to the baseline
- * (BL), for all 17 applications.
- *
- * Paper anchors: Morpheus-ALL improves performance by ~39% over BL on the
- * memory-bound set and lands within ~3% of the ideal IBL-4X-LLC;
- * energy efficiency improves ~58% over BL; compute-bound apps are
- * unaffected (<1% perf/W cost from the controller).
+ * Driver stub for the "fig12_performance" scenario (see src/scenarios/). Runs the same
+ * sweep as `morpheus_cli --scenario fig12_performance`; accepts --jobs N and
+ * --format text|csv|json.
  */
-#include <cstdio>
-#include <map>
-#include <vector>
-
-#include "harness/runner.hpp"
-#include "harness/table.hpp"
-
-using namespace morpheus;
+#include "harness/scenario.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
-    const auto systems = fig12_systems();
-
-    std::vector<std::string> headers = {"app"};
-    for (auto s : systems)
-        headers.push_back(system_name(s));
-    Table time_table(headers);
-    Table ppw_table(headers);
-
-    std::map<SystemKind, std::vector<double>> mb_speedup;
-    std::map<SystemKind, std::vector<double>> mb_ppw;
-
-    for (const auto &app : app_catalog()) {
-        const RunResult base = run_system(SystemKind::kBL, app);
-
-        std::vector<std::string> trow = {app.params.name};
-        std::vector<std::string> prow = {app.params.name};
-        for (auto s : systems) {
-            const RunResult r = run_system(s, app);
-            const double norm_time =
-                static_cast<double>(r.cycles) / static_cast<double>(base.cycles);
-            const double norm_ppw = r.perf_per_watt / base.perf_per_watt;
-            trow.push_back(fmt(norm_time));
-            prow.push_back(fmt(norm_ppw));
-            if (app.params.memory_bound) {
-                mb_speedup[s].push_back(1.0 / norm_time);
-                mb_ppw[s].push_back(norm_ppw);
-            }
-        }
-        time_table.add_row(std::move(trow));
-        ppw_table.add_row(std::move(prow));
-    }
-
-    std::vector<std::string> trow = {"gmean (memory-bound)"};
-    std::vector<std::string> prow = {"gmean (memory-bound)"};
-    for (auto s : systems) {
-        trow.push_back(fmt(1.0 / geomean(mb_speedup[s])));
-        prow.push_back(fmt(geomean(mb_ppw[s])));
-    }
-    time_table.add_row(std::move(trow));
-    ppw_table.add_row(std::move(prow));
-
-    std::printf("== Figure 12 (top): normalized execution time (lower is better) ==\n");
-    time_table.print();
-    std::printf("\n== Figure 12 (bottom): normalized performance/watt (higher is better) ==\n");
-    ppw_table.print();
-
-    std::printf("\npaper anchors (memory-bound gmean): Morpheus-ALL speedup ~1.39x over BL, "
-                "within 3%% of IBL-4X-LLC; perf/W ~1.58x over BL\n");
-    return 0;
+    return morpheus::scenario_main("fig12_performance", argc, argv);
 }

@@ -1,56 +1,13 @@
 /**
  * @file
- * Reproduces Figure 13: execution time of Morpheus-Basic under three
- * hit/miss predictor designs — No-Prediction, the dual-Bloom-filter
- * design, and a perfect oracle — normalized to the baseline (BL).
- *
- * Paper anchors: No-Prediction is ~9% slower than Bloom-Filter on
- * average; Bloom-Filter is within ~1% of Perfect-Prediction.
+ * Driver stub for the "fig13_hitmiss_prediction" scenario (see src/scenarios/). Runs the same
+ * sweep as `morpheus_cli --scenario fig13_hitmiss_prediction`; accepts --jobs N and
+ * --format text|csv|json.
  */
-#include <cstdio>
-#include <vector>
-
-#include "harness/runner.hpp"
-#include "harness/table.hpp"
-
-using namespace morpheus;
+#include "harness/scenario.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
-    const PredictionMode modes[] = {PredictionMode::kNone, PredictionMode::kBloom,
-                                    PredictionMode::kPerfect};
-
-    Table table({"app", "No-Prediction", "Bloom-Filter", "Perfect-Prediction", "Bloom FP rate"});
-    std::vector<double> ratios[3];
-
-    for (const auto &app : app_catalog()) {
-        if (!app.params.memory_bound)
-            continue;
-        const RunResult base = run_system(SystemKind::kBL, app);
-
-        std::vector<std::string> row = {app.params.name};
-        double fp_rate = 0;
-        for (int m = 0; m < 3; ++m) {
-            const SystemSetup setup =
-                make_morpheus_system(app, app.morpheus_basic_sms, false, false, modes[m]);
-            const RunResult r = run_setup(setup, app.params);
-            const double norm = static_cast<double>(r.cycles) / static_cast<double>(base.cycles);
-            ratios[m].push_back(norm);
-            row.push_back(fmt(norm));
-            if (modes[m] == PredictionMode::kBloom && r.ext_predicted_hits > 0) {
-                fp_rate = static_cast<double>(r.ext_false_positives) /
-                          static_cast<double>(r.ext_predicted_hits);
-            }
-        }
-        row.push_back(fmt(100.0 * fp_rate, 1) + "%");
-        table.add_row(std::move(row));
-    }
-
-    table.add_row({"gmean", fmt(geomean(ratios[0])), fmt(geomean(ratios[1])),
-                   fmt(geomean(ratios[2])), ""});
-    table.print();
-    std::printf("\npaper anchors: No-Prediction ~9%% slower than Bloom-Filter; "
-                "Bloom-Filter within ~1%% of Perfect-Prediction\n");
-    return 0;
+    return morpheus::scenario_main("fig13_hitmiss_prediction", argc, argv);
 }

@@ -1,174 +1,13 @@
 /**
  * @file
- * Google-benchmark micro suite for the hot components of the simulator
- * and of Morpheus itself: Bloom filters, the dual-filter predictor, BDI
- * compression, the tag-lookup / Indirect-MOV warp emulation, the
- * set-associative cache, the extended-LLC set, and the event queue.
+ * Driver stub for the "micro_components" scenario (see src/scenarios/). Runs the same
+ * sweep as `morpheus_cli --scenario micro_components`; accepts --jobs N and
+ * --format text|csv|json.
  */
-#include <benchmark/benchmark.h>
+#include "harness/scenario.hpp"
 
-#include "cache/bdi.hpp"
-#include "cache/bloom_filter.hpp"
-#include "cache/set_assoc_cache.hpp"
-#include "morpheus/extended_llc_kernel.hpp"
-#include "morpheus/hit_miss_predictor.hpp"
-#include "morpheus/indirect_mov.hpp"
-#include "sim/event_queue.hpp"
-#include "sim/rng.hpp"
-#include "workloads/block_data.hpp"
-
-using namespace morpheus;
-
-namespace {
-
-void
-BM_BloomInsert(benchmark::State &state)
+int
+main(int argc, char **argv)
 {
-    BloomFilter bf(static_cast<std::uint32_t>(state.range(0)));
-    std::uint64_t key = 1;
-    for (auto _ : state) {
-        bf.insert(key++);
-        if ((key & 1023) == 0)
-            bf.clear();
-    }
+    return morpheus::scenario_main("micro_components", argc, argv);
 }
-BENCHMARK(BM_BloomInsert)->Arg(256)->Arg(2048);
-
-void
-BM_BloomQuery(benchmark::State &state)
-{
-    BloomFilter bf(static_cast<std::uint32_t>(state.range(0)));
-    for (std::uint64_t k = 0; k < 32; ++k)
-        bf.insert(k * 977);
-    std::uint64_t key = 1;
-    bool sink = false;
-    for (auto _ : state)
-        benchmark::DoNotOptimize(sink ^= bf.maybe_contains(key++));
-}
-BENCHMARK(BM_BloomQuery)->Arg(256)->Arg(2048);
-
-void
-BM_PredictorAccess(benchmark::State &state)
-{
-    DualBloomPredictor pred(32);
-    Rng rng(7);
-    for (auto _ : state) {
-        const LineAddr line = rng.next_below(4096);
-        benchmark::DoNotOptimize(pred.predict_hit(line));
-        pred.on_access(line);
-    }
-}
-BENCHMARK(BM_PredictorAccess);
-
-void
-BM_BdiCompress(benchmark::State &state)
-{
-    const BlockDataProfile profile{0.3, 0.4, 42};
-    LineAddr line = 0;
-    for (auto _ : state) {
-        const Block block = synthesize_block(profile, line++);
-        benchmark::DoNotOptimize(bdi_compress(block));
-    }
-}
-BENCHMARK(BM_BdiCompress);
-
-void
-BM_BdiRoundTrip(benchmark::State &state)
-{
-    const BlockDataProfile profile{0.5, 0.4, 43};
-    std::vector<std::uint8_t> encoded;
-    LineAddr line = 0;
-    for (auto _ : state) {
-        const Block block = synthesize_block(profile, line++);
-        const BdiResult r = bdi_encode(block, encoded);
-        benchmark::DoNotOptimize(bdi_decode(r.encoding, encoded));
-    }
-}
-BENCHMARK(BM_BdiRoundTrip);
-
-void
-BM_WarpTagLookup(benchmark::State &state)
-{
-    WarpSetEmulator warp;
-    Block data{};
-    for (std::uint64_t t = 0; t < 32; ++t)
-        warp.insert(t, data, false);
-    std::uint64_t tag = 0;
-    for (auto _ : state)
-        benchmark::DoNotOptimize(warp.tag_lookup(tag++ % 48));
-}
-BENCHMARK(BM_WarpTagLookup);
-
-void
-BM_IndirectMovRead(benchmark::State &state)
-{
-    WarpSetEmulator warp;
-    Block data{};
-    for (std::uint64_t t = 0; t < 32; ++t)
-        warp.insert(t, data, false);
-    std::uint32_t idx = 0;
-    for (auto _ : state)
-        benchmark::DoNotOptimize(warp.indirect_mov_read(idx++));
-}
-BENCHMARK(BM_IndirectMovRead);
-
-void
-BM_CacheAccess(benchmark::State &state)
-{
-    SetAssocCache cache(512, 16, ReplacementKind::kLru, true);
-    Rng rng(11);
-    for (auto _ : state) {
-        const LineAddr line = rng.next_below(16384);
-        const auto r = cache.read(line);
-        if (!r.hit)
-            cache.fill(line, 1, false);
-    }
-}
-BENCHMARK(BM_CacheAccess);
-
-void
-BM_ExtSetInsertLookup(benchmark::State &state)
-{
-    ExtSet set(48 * 128, state.range(0) != 0, 10'000);
-    std::vector<ExtSet::Evicted> evicted;
-    Rng rng(13);
-    Cycle now = 0;
-    for (auto _ : state) {
-        const LineAddr line = rng.next_below(256);
-        std::uint64_t version;
-        CompLevel level;
-        if (!set.touch_read(++now, line, version, level)) {
-            evicted.clear();
-            set.insert(now, line, 1, false, CompLevel::kLow, evicted);
-        }
-    }
-}
-BENCHMARK(BM_ExtSetInsertLookup)->Arg(0)->Arg(1);
-
-void
-BM_EventQueue(benchmark::State &state)
-{
-    EventQueue eq;
-    std::uint64_t counter = 0;
-    for (auto _ : state) {
-        for (int i = 0; i < 64; ++i)
-            eq.schedule_in(static_cast<Cycle>(i * 7 % 23), [&counter] { ++counter; });
-        eq.run();
-    }
-    benchmark::DoNotOptimize(counter);
-}
-BENCHMARK(BM_EventQueue);
-
-void
-BM_ZipfSample(benchmark::State &state)
-{
-    ZipfSampler zipf(100'000, 0.8);
-    Rng rng(17);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(zipf.sample(rng));
-}
-BENCHMARK(BM_ZipfSample);
-
-} // namespace
-
-BENCHMARK_MAIN();

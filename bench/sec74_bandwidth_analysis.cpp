@@ -1,79 +1,13 @@
 /**
  * @file
- * Reproduces the §7.4 on-chip / off-chip bandwidth analysis:
- *  (1) LLC throughput for BL, IBL, Morpheus-ALL and larger-LLC;
- *  (2) interconnect load / throughput / latency for BL vs Morpheus-ALL;
- *  (3) off-chip bandwidth utilization and LLC MPKI for IBL vs
- *      Morpheus-ALL.
- *
- * Paper anchors: Morpheus-ALL raises LLC throughput by ~75% over BL and
- * ~68% over IBL (larger-LLC alone gives ~42%); NoC load roughly doubles
- * (+97%) with ~7% longer average latency but no saturation; off-chip
- * bandwidth utilization drops ~17% and MPKI ~47% vs IBL.
+ * Driver stub for the "sec74_bandwidth_analysis" scenario (see src/scenarios/). Runs the same
+ * sweep as `morpheus_cli --scenario sec74_bandwidth_analysis`; accepts --jobs N and
+ * --format text|csv|json.
  */
-#include <cstdio>
-#include <vector>
-
-#include "harness/runner.hpp"
-#include "harness/table.hpp"
-
-using namespace morpheus;
+#include "harness/scenario.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
-    Table llc({"app", "BL", "IBL", "Morpheus-ALL", "larger-LLC", "(LLC accesses/kcycle, norm. BL)"});
-    Table noc({"app", "NoC load x", "NoC latency x", "(Morpheus-ALL vs BL)"});
-    Table offchip({"app", "DRAM util IBL", "DRAM util M-ALL", "MPKI IBL", "MPKI M-ALL"});
-
-    std::vector<double> llc_gain_bl;
-    std::vector<double> llc_gain_ibl;
-    std::vector<double> llc_gain_larger;
-    std::vector<double> noc_load;
-    std::vector<double> noc_lat;
-    std::vector<double> bw_ratio;
-    std::vector<double> mpki_ratio;
-
-    for (const auto &app : app_catalog()) {
-        if (!app.params.memory_bound)
-            continue;
-
-        const RunResult bl = run_system(SystemKind::kBL, app);
-        const RunResult ibl = run_system(SystemKind::kIBL, app);
-        const RunResult all = run_system(SystemKind::kMorpheusAll, app);
-        const RunResult larger = run_system(SystemKind::kLargerLlc, app);
-
-        llc.add_row({app.params.name, "1.00", fmt(ibl.llc_throughput / bl.llc_throughput),
-                     fmt(all.llc_throughput / bl.llc_throughput),
-                     fmt(larger.llc_throughput / bl.llc_throughput), ""});
-        llc_gain_bl.push_back(all.llc_throughput / bl.llc_throughput);
-        llc_gain_ibl.push_back(all.llc_throughput / ibl.llc_throughput);
-        llc_gain_larger.push_back(larger.llc_throughput / bl.llc_throughput);
-
-        noc.add_row({app.params.name, fmt(all.noc_injection_rate / bl.noc_injection_rate),
-                     fmt(all.noc_avg_latency / bl.noc_avg_latency), ""});
-        noc_load.push_back(all.noc_injection_rate / bl.noc_injection_rate);
-        noc_lat.push_back(all.noc_avg_latency / bl.noc_avg_latency);
-
-        offchip.add_row({app.params.name, fmt(100.0 * ibl.dram_utilization, 1) + "%",
-                         fmt(100.0 * all.dram_utilization, 1) + "%", fmt(ibl.mpki, 1),
-                         fmt(all.mpki, 1)});
-        bw_ratio.push_back(all.dram_utilization / ibl.dram_utilization);
-        mpki_ratio.push_back(all.mpki / ibl.mpki);
-    }
-
-    std::printf("== LLC throughput (normalized to BL; paper: M-ALL ~1.75x, larger-LLC ~1.42x) ==\n");
-    llc.print();
-    std::printf("\ngmean: M-ALL/BL=%.2f  M-ALL/IBL=%.2f  larger-LLC/BL=%.2f\n",
-                geomean(llc_gain_bl), geomean(llc_gain_ibl), geomean(llc_gain_larger));
-
-    std::printf("\n== Interconnect (paper: load ~1.97x, latency ~1.07x, no saturation) ==\n");
-    noc.print();
-    std::printf("\ngmean: load=%.2fx latency=%.2fx\n", geomean(noc_load), geomean(noc_lat));
-
-    std::printf("\n== Off-chip bandwidth & MPKI (paper: M-ALL vs IBL: BW util -17%%, MPKI -47%%) ==\n");
-    offchip.print();
-    std::printf("\ngmean ratios (M-ALL/IBL): DRAM util=%.2f  MPKI=%.2f\n", geomean(bw_ratio),
-                geomean(mpki_ratio));
-    return 0;
+    return morpheus::scenario_main("sec74_bandwidth_analysis", argc, argv);
 }

@@ -1,73 +1,13 @@
 /**
  * @file
- * Reproduces the §7.5 overhead analysis: the Morpheus controller's
- * storage cost (Bloom filters + extended LLC query logic unit) and its
- * power overhead.
- *
- * Paper anchors: 16 KiB Bloom-filter storage + ~5 KiB query-logic storage
- * per LLC partition = 21 KiB per partition (210 KiB total, ~4% of the
- * conventional LLC), and a 0.93% GPU power overhead.
+ * Driver stub for the "sec75_overheads" scenario (see src/scenarios/). Runs the same
+ * sweep as `morpheus_cli --scenario sec75_overheads`; accepts --jobs N and
+ * --format text|csv|json.
  */
-#include <cstdio>
-
-#include "harness/runner.hpp"
-#include "harness/table.hpp"
-#include "morpheus/hit_miss_predictor.hpp"
-#include "morpheus/query_logic.hpp"
-
-using namespace morpheus;
+#include "harness/scenario.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
-    const GpuConfig cfg;
-    const QueryLogicParams qlp;
-    const QueryLogic ql(qlp);
-
-    const std::uint64_t bloom_per_part =
-        static_cast<std::uint64_t>(qlp.status_rows) * DualBloomPredictor::nominal_storage_bytes();
-    const std::uint64_t query_per_part = ql.storage_bytes();
-    const std::uint64_t total_per_part = bloom_per_part + query_per_part;
-    const std::uint64_t total = total_per_part * cfg.llc_partitions;
-    const double llc_frac =
-        100.0 * static_cast<double>(total_per_part) /
-        (static_cast<double>(cfg.llc_bytes) / cfg.llc_partitions);
-
-    Table storage({"component", "per partition", "total (10 partitions)", "paper"});
-    storage.add_row({"hit/miss predictor (2 x 32 B x 256 sets)",
-                     std::to_string(bloom_per_part / 1024) + " KiB",
-                     std::to_string(bloom_per_part * cfg.llc_partitions / 1024) + " KiB",
-                     "16 KiB/partition"});
-    storage.add_row({"extended LLC query logic unit",
-                     fmt(static_cast<double>(query_per_part) / 1024.0, 1) + " KiB",
-                     fmt(static_cast<double>(query_per_part * cfg.llc_partitions) / 1024.0, 1) +
-                         " KiB",
-                     "~5 KiB/partition"});
-    storage.add_row({"total", fmt(static_cast<double>(total_per_part) / 1024.0, 1) + " KiB",
-                     fmt(static_cast<double>(total) / 1024.0, 1) + " KiB",
-                     "21 KiB/partition (~4% of LLC)"});
-    std::printf("== Storage cost ==\n");
-    storage.print();
-    std::printf("measured fraction of per-partition LLC capacity: %.1f%% (paper: ~4%%)\n\n",
-                llc_frac);
-
-    // Power: run one representative memory-bound app with and without the
-    // controller overhead accounted, and report the delta.
-    const AppSpec *app = find_app("cfd");
-    const RunResult with_ctrl = run_system(SystemKind::kMorpheusAll, *app);
-    const double ctrl_frac = with_ctrl.energy.controller_j / with_ctrl.energy.total_j();
-
-    Table power({"quantity", "value", "paper"});
-    power.add_row({"controller energy fraction (cfd, Morpheus-ALL)",
-                   fmt(100.0 * ctrl_frac, 2) + "%", "0.93% of GPU power"});
-    power.add_row({"average GPU power (cfd, Morpheus-ALL)", fmt(with_ctrl.avg_watts, 1) + " W",
-                   "(RTX 3080-class)"});
-    std::printf("== Power overhead ==\n");
-    power.print();
-
-    // Query-logic sizing rationale (warp status table rows).
-    std::printf("\nwarp status table sizing: up to %u extended sets per partition "
-                "(paper: 75%% of 68 SMs x 48 warps / 10 partitions ~ 245 -> 256 rows)\n",
-                qlp.status_rows);
-    return 0;
+    return morpheus::scenario_main("sec75_overheads", argc, argv);
 }

@@ -1,115 +1,13 @@
 /**
  * @file
- * Reproduces Table 3: the number of GPU cores executing application
- * threads for IBL, Morpheus-Basic, and Morpheus-ALL, found by the same
- * offline search the paper uses (sweep the compute-SM count, keep the
- * best-performing configuration).
+ * Driver stub for the "tab03_core_counts" scenario (see src/scenarios/). Runs the same
+ * sweep as `morpheus_cli --scenario tab03_core_counts`; accepts --jobs N and
+ * --format text|csv|json.
  */
-#include <cstdio>
-#include <vector>
-
-#include "harness/runner.hpp"
-#include "harness/table.hpp"
-
-using namespace morpheus;
-
-namespace {
-
-const std::vector<std::uint32_t> kGrid = {18, 26, 34, 50, 68};
-
-/** Best compute-SM count for plain (non-Morpheus) execution. */
-std::uint32_t
-search_ibl(const AppSpec &app)
-{
-    std::uint32_t best_n = kGrid.back();
-    double best_ipc = 0;
-    for (auto n : kGrid) {
-        const double ipc = run_with_sms(app, n).ipc;
-        if (ipc > best_ipc * 1.02) {  // prefer more SMs on ties, as the paper does
-            best_ipc = ipc;
-            best_n = n;
-        }
-    }
-    return best_n;
-}
-
-/** Best compute-SM count for a Morpheus configuration. */
-std::uint32_t
-search_morpheus(const AppSpec &app, bool compression, bool hw_mov)
-{
-    std::uint32_t best_n = kGrid.back();
-    double best_ipc = 0;
-    for (auto n : kGrid) {
-        const SystemSetup setup =
-            make_morpheus_system(app, n, compression, hw_mov, PredictionMode::kBloom);
-        const double ipc = run_setup(setup, app.params).ipc;
-        if (ipc > best_ipc * 1.02) {
-            best_ipc = ipc;
-            best_n = n;
-        }
-    }
-    return best_n;
-}
-
-} // namespace
-
-namespace {
-
-/** The paper's published Table 3 (for side-by-side comparison). */
-struct PaperRow
-{
-    const char *app;
-    std::uint32_t ibl, basic, all;
-};
-constexpr PaperRow kPaperTable3[] = {
-    {"p-bfs", 68, 32, 40},  {"cfd", 68, 42, 55},    {"dwt2d", 68, 42, 54},
-    {"stencil", 68, 50, 56}, {"r-bfs", 68, 34, 37},  {"bprob", 68, 39, 41},
-    {"sgem", 68, 48, 54},    {"nw", 68, 18, 26},     {"page-r", 68, 42, 46},
-    {"kmeans", 24, 37, 47},  {"histo", 53, 47, 52},  {"mri-gri", 34, 36, 43},
-    {"spmv", 42, 44, 47},    {"lbm", 34, 32, 36},    {"lib", 68, 68, 68},
-    {"hotsp", 68, 68, 68},   {"mri-q", 68, 68, 68},
-};
-
-const PaperRow *
-paper_row(const std::string &name)
-{
-    for (const auto &row : kPaperTable3) {
-        if (name == row.app)
-            return &row;
-    }
-    return nullptr;
-}
-
-} // namespace
+#include "harness/scenario.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
-    Table table({"app", "IBL (paper)", "IBL (search)", "Morpheus-Basic (paper)",
-                 "Morpheus-Basic (search)", "Morpheus-ALL (paper)", "Morpheus-ALL (search)",
-                 "catalog (used by fig12)"});
-
-    for (const auto &app : app_catalog()) {
-        const PaperRow *paper = paper_row(app.params.name);
-        const std::string used = std::to_string(app.morpheus_basic_sms) + "/" +
-                                 std::to_string(app.morpheus_all_sms);
-        if (!app.params.memory_bound) {
-            table.add_row({app.params.name, "68", "68", "68", "68", "68", "68", used});
-            continue;
-        }
-        const std::uint32_t ibl = search_ibl(app);
-        const std::uint32_t basic = search_morpheus(app, false, false);
-        const std::uint32_t all = search_morpheus(app, true, true);
-        table.add_row({app.params.name, std::to_string(paper->ibl), std::to_string(ibl),
-                       std::to_string(paper->basic), std::to_string(basic),
-                       std::to_string(paper->all), std::to_string(all), used});
-    }
-    table.print();
-    std::printf("\n(The \"paper\" columns are the published Table 3; the \"search\" columns "
-                "re-derive the best core counts with the paper's offline sweep on this "
-                "simulator; the \"catalog\" column shows the splits DESIGN.md bakes in for the "
-                "Figure 12 harness. The shared trend to check: thrash-class apps prefer far "
-                "fewer than 68 compute cores, and every Morpheus configuration reserves a "
-                "substantial cache-mode pool.)\n");
-    return 0;
+    return morpheus::scenario_main("tab03_core_counts", argc, argv);
 }

@@ -1,50 +1,13 @@
 /**
  * @file
- * Capacity-planning example: how many cores should kmeans lend to the
- * extended LLC?
- *
- * Sweeps the compute/cache split for the paper's headline thrash-class
- * workload (kmeans: per-warp private working sets that overflow the 5 MiB
- * LLC) and prints execution time, hit rates, and DRAM traffic per split —
- * the same offline search the paper uses to build Table 3.
+ * Driver stub for the "kmeans_capacity_sweep" scenario (see
+ * src/scenarios/kmeans_capacity_sweep.cpp): how many cores should kmeans
+ * lend to the extended LLC? Accepts --jobs N and --format text|csv|json.
  */
-#include <cstdio>
-
-#include "harness/runner.hpp"
-#include "harness/table.hpp"
-
-using namespace morpheus;
+#include "harness/scenario.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
-    const AppSpec *app = find_app("kmeans");
-    const RunResult base = run_system(SystemKind::kBL, *app);
-    std::printf("kmeans on the 68-SM baseline: %llu cycles, %llu DRAM reads\n\n",
-                static_cast<unsigned long long>(base.cycles),
-                static_cast<unsigned long long>(base.dram_reads));
-
-    Table table({"compute SMs", "cache SMs", "ext capacity", "speedup vs BL", "ext hit %",
-                 "DRAM reads"});
-    for (std::uint32_t compute : {18u, 26u, 34u, 42u, 50u, 68u}) {
-        const std::uint32_t cache = 68 - compute;
-        const SystemSetup setup =
-            make_morpheus_system(*app, compute, true, true, PredictionMode::kBloom);
-        const RunResult r = run_setup(setup, app->params);
-        const double hit =
-            r.ext_requests ? 100.0 * static_cast<double>(r.ext_hits) /
-                                 static_cast<double>(r.ext_requests)
-                           : 0.0;
-        table.add_row({std::to_string(compute), std::to_string(cache),
-                       std::to_string(r.ext_capacity_bytes / 1024 / 1024) + " MiB",
-                       fmt(static_cast<double>(base.cycles) / static_cast<double>(r.cycles)) +
-                           "x",
-                       fmt(hit, 1), std::to_string(r.dram_reads)});
-    }
-    table.print();
-    std::printf("\nTakeaway: once the combined conventional+extended capacity covers the\n"
-                "footprint, lending further cores stops paying — the sweet spot balances\n"
-                "compute throughput against extended-LLC capacity, exactly the tradeoff\n"
-                "behind the paper's Table 3.\n");
-    return 0;
+    return morpheus::scenario_main("kmeans_capacity_sweep", argc, argv);
 }

@@ -5,6 +5,8 @@
  *
  * Usage:
  *   morpheus_cli <app> [system] [compute_sms] [cache_sms]
+ *   morpheus_cli --list
+ *   morpheus_cli --scenario <name> [--jobs N] [--format text|csv|json]
  *
  *   app     one of the 17 Table 2 names (p-bfs, cfd, ..., mri-q)
  *   system  BL | IBL | IBL4X | FREQ | UNIFIED | BASIC | COMPR | MOV |
@@ -12,17 +14,25 @@
  *   compute_sms / cache_sms
  *           optional explicit Morpheus split overriding the catalog
  *
+ * Scenario mode runs any registered experiment sweep (every paper figure
+ * and table) through the SweepEngine: --jobs N shards its independent
+ * simulation runs over N worker threads with byte-identical output.
+ *
  * Examples:
  *   morpheus_cli kmeans                 # kmeans on Morpheus-ALL
  *   morpheus_cli cfd BL                 # cfd on the 68-SM baseline
  *   morpheus_cli lbm ALL 26 42          # explicit 26 compute / 42 cache
+ *   morpheus_cli --list                 # registered scenarios
+ *   morpheus_cli --scenario fig12_performance --jobs 8
  */
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <string>
 
 #include "harness/runner.hpp"
+#include "harness/scenario.hpp"
 #include "harness/table.hpp"
 
 using namespace morpheus;
@@ -63,7 +73,10 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: morpheus_cli <app> [BL|IBL|IBL4X|FREQ|UNIFIED|BASIC|COMPR|MOV|ALL|"
-                 "LARGER] [compute_sms cache_sms]\napps:");
+                 "LARGER] [compute_sms cache_sms]\n"
+                 "       morpheus_cli --list\n"
+                 "       morpheus_cli --scenario <name> [--jobs N] [--format text|csv|json]\n"
+                 "apps:");
     for (const auto &app : app_catalog())
         std::fprintf(stderr, " %s", app.params.name.c_str());
     std::fprintf(stderr, "\n");
@@ -77,6 +90,26 @@ main(int argc, char **argv)
     if (argc < 2) {
         usage();
         return 2;
+    }
+
+    if (std::strcmp(argv[1], "--list") == 0) {
+        std::printf("registered scenarios (run with --scenario <name>):\n");
+        list_scenarios(std::cout);
+        return 0;
+    }
+
+    if (std::strcmp(argv[1], "--scenario") == 0) {
+        if (argc < 3) {
+            usage();
+            return 2;
+        }
+        const Scenario *s = find_scenario(argv[2]);
+        if (!s) {
+            std::fprintf(stderr, "unknown scenario '%s'; --list shows all\n", argv[2]);
+            return 2;
+        }
+        // Reuse the shared flag parser; it sees only the trailing options.
+        return scenario_main(argv[2], argc - 2, argv + 2);
     }
     const AppSpec *app = find_app(argv[1]);
     if (!app) {

@@ -40,6 +40,29 @@ fits_signed(std::int64_t d, std::uint32_t width)
     return d >= lo && d <= hi;
 }
 
+/**
+ * @name Wraparound delta arithmetic
+ * Two's-complement add/sub without signed-overflow UB. Deltas live in
+ * modulo-2^(8*width) space (like the hardware adders BDI models), so
+ * encode and decode stay exact inverses even when the mathematical
+ * difference of two 8-byte segments exceeds the int64 range.
+ */
+///@{
+std::int64_t
+wrap_sub(std::int64_t a, std::int64_t b)
+{
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) -
+                                     static_cast<std::uint64_t>(b));
+}
+
+std::int64_t
+wrap_add(std::int64_t a, std::int64_t b)
+{
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) +
+                                     static_cast<std::uint64_t>(b));
+}
+///@}
+
 struct Candidate
 {
     BdiEncoding encoding;
@@ -92,7 +115,7 @@ try_candidate(const Block &block, const Candidate &cand, std::uint64_t &base,
             have_base = true;
         }
         const std::int64_t base_val = sign_extend(base, cand.base_width);
-        if (!fits_signed(value - base_val, cand.delta_width))
+        if (!fits_signed(wrap_sub(value, base_val), cand.delta_width))
             return false;
         use_base[s] = true;
     }
@@ -211,7 +234,7 @@ bdi_encode(const Block &block, std::vector<std::uint8_t> &out)
     for (std::uint32_t s = 0; s < segments; ++s) {
         const std::uint64_t raw = read_le(block.data() + s * base_width, base_width);
         const std::int64_t value = sign_extend(raw, base_width);
-        const std::int64_t delta = use_base[s] ? value - base_val : value;
+        const std::int64_t delta = use_base[s] ? wrap_sub(value, base_val) : value;
         if (use_base[s])
             mask[s / 8] |= static_cast<std::uint8_t>(1u << (s % 8));
         write_le(deltas + s * delta_width, static_cast<std::uint64_t>(delta), delta_width);
@@ -257,7 +280,7 @@ bdi_decode(BdiEncoding encoding, const std::vector<std::uint8_t> &in)
         const std::int64_t delta =
             sign_extend(read_le(deltas + s * delta_width, delta_width), delta_width);
         const bool rel_base = mask[s / 8] & (1u << (s % 8));
-        const std::int64_t value = rel_base ? base_val + delta : delta;
+        const std::int64_t value = rel_base ? wrap_add(base_val, delta) : delta;
         write_le(block.data() + s * base_width, static_cast<std::uint64_t>(value), base_width);
     }
     return block;

@@ -37,16 +37,21 @@ Sm::start()
 void
 Sm::schedule_issue(Cycle when)
 {
-    if (issue_event_at_ != 0 && issue_event_at_ <= when)
+    // An event already pending at or before `when` will pick the work up;
+    // `issue_pending_` (not a time sentinel) tracks that, since cycle 0
+    // is a perfectly valid schedule time.
+    if (issue_pending_ && issue_event_at_ <= when)
         return;
+    issue_pending_ = true;
     issue_event_at_ = when;
+    ++issue_events_;
     ctx_.eq->schedule(when, [this] { issue(); });
 }
 
 void
 Sm::issue()
 {
-    issue_event_at_ = 0;
+    issue_pending_ = false;
     const Cycle now = ctx_.eq->now();
 
     while (!ready_.empty()) {

@@ -45,6 +45,8 @@ class Sm
     std::uint64_t instructions() const { return instructions_; }
     std::uint64_t mem_instructions() const { return mem_instructions_; }
     Cycle finish_time() const { return finish_time_; }
+    /** Issue events armed so far (the dedup-guard regression counter). */
+    std::uint64_t issue_events() const { return issue_events_; }
     ///@}
 
   private:
@@ -80,8 +82,11 @@ class Sm
     std::priority_queue<ReadyEntry, std::vector<ReadyEntry>, std::greater<>> ready_;
     std::uint32_t live_warps_ = 0;
 
-    /** Earliest pending issue event (dedup guard); 0 = none scheduled. */
+    /** True while an issue event is armed (dedup guard). */
+    bool issue_pending_ = false;
+    /** Time of the earliest armed issue event (valid when pending). */
     Cycle issue_event_at_ = 0;
+    std::uint64_t issue_events_ = 0;
 
     std::uint64_t instructions_ = 0;
     std::uint64_t mem_instructions_ = 0;

@@ -18,14 +18,20 @@ run_system(SystemKind kind, const AppSpec &app)
     return run_setup(make_system(kind, app), app.params);
 }
 
-RunResult
-run_with_sms(const AppSpec &app, std::uint32_t compute_sms, std::uint64_t llc_bytes_override)
+SystemSetup
+setup_with_sms(std::uint32_t compute_sms, std::uint64_t llc_bytes_override)
 {
     SystemSetup setup;
     setup.compute_sms = compute_sms;
     if (llc_bytes_override > 0)
         setup.cfg.llc_bytes = llc_bytes_override;
-    return run_setup(setup, app.params);
+    return setup;
+}
+
+RunResult
+run_with_sms(const AppSpec &app, std::uint32_t compute_sms, std::uint64_t llc_bytes_override)
+{
+    return run_setup(setup_with_sms(compute_sms, llc_bytes_override), app.params);
 }
 
 double

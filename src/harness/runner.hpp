@@ -20,6 +20,13 @@ RunResult run_system(SystemKind kind, const AppSpec &app);
 RunResult run_with_sms(const AppSpec &app, std::uint32_t compute_sms,
                        std::uint64_t llc_bytes_override = 0);
 
+/**
+ * The baseline setup with an explicit compute-SM count (and optional LLC
+ * capacity override) — the SystemSetup half of a run_with_sms() job, for
+ * sweeps that submit to the SweepEngine instead of running inline.
+ */
+SystemSetup setup_with_sms(std::uint32_t compute_sms, std::uint64_t llc_bytes_override = 0);
+
 /** Geometric mean of strictly positive values (paper-style summaries). */
 double geomean(const std::vector<double> &values);
 

@@ -1,0 +1,117 @@
+#include "harness/scenario.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+namespace morpheus {
+
+const Scenario *
+find_scenario(const std::string &name)
+{
+    for (const auto &s : scenario_registry()) {
+        if (name == s.name)
+            return &s;
+    }
+    return nullptr;
+}
+
+void
+list_scenarios(std::ostream &os)
+{
+    for (const auto &s : scenario_registry())
+        os << "  " << s.name << "\n      " << s.description << "\n";
+}
+
+int
+scenario_main(const char *name, int argc, char **argv)
+{
+    ScenarioOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+            char *end = nullptr;
+            const long v = std::strtol(argv[++i], &end, 10);
+            if (end == argv[i] || *end != '\0' || v < 0) {
+                std::fprintf(stderr, "invalid --jobs value '%s' (expected N >= 0; 0 = auto)\n",
+                             argv[i]);
+                return 2;
+            }
+            opts.jobs = static_cast<unsigned>(v);
+        } else if (std::strcmp(argv[i], "--format") == 0 && i + 1 < argc) {
+            if (!parse_table_format(argv[++i], opts.format)) {
+                std::fprintf(stderr, "unknown format '%s' (text|csv|json)\n", argv[i]);
+                return 2;
+            }
+        } else {
+            std::fprintf(stderr, "usage: %s [--jobs N] [--format text|csv|json]\n", argv[0]);
+            return 2;
+        }
+    }
+    const Scenario *s = find_scenario(name);
+    if (!s) {
+        std::fprintf(stderr, "scenario '%s' is not registered\n", name);
+        return 2;
+    }
+    return s->run(opts);
+}
+
+ScenarioEmitter::ScenarioEmitter(const ScenarioOptions &opts)
+    : os_(opts.out ? *opts.out : std::cout), format_(opts.format)
+{
+    if (format_ == TableFormat::kJson)
+        os_ << "[\n";
+}
+
+ScenarioEmitter::~ScenarioEmitter()
+{
+    if (format_ == TableFormat::kJson)
+        os_ << (tables_ ? "\n]\n" : "]\n");
+}
+
+void
+ScenarioEmitter::table(const std::string &title, const Table &t)
+{
+    switch (format_) {
+      case TableFormat::kText:
+        if (tables_)
+            os_ << '\n';
+        os_ << "== " << title << " ==\n";
+        t.print(os_);
+        break;
+      case TableFormat::kCsv:
+        if (tables_)
+            os_ << '\n';
+        os_ << "# " << title << '\n';
+        t.emit_csv(os_);
+        break;
+      case TableFormat::kJson:
+        os_ << (tables_ ? ",\n" : "") << "  {\"table\": \"";
+        for (char c : title) {
+            if (c == '"' || c == '\\')
+                os_ << '\\';
+            os_ << c;
+        }
+        os_ << "\", \"rows\": ";
+        t.emit_json(os_);
+        os_ << '}';
+        break;
+    }
+    ++tables_;
+}
+
+void
+ScenarioEmitter::note(const char *fmt, ...)
+{
+    if (format_ != TableFormat::kText)
+        return;
+    char buf[2048];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    os_ << buf;
+}
+
+} // namespace morpheus

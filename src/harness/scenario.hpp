@@ -1,0 +1,78 @@
+#ifndef MORPHEUS_HARNESS_SCENARIO_HPP_
+#define MORPHEUS_HARNESS_SCENARIO_HPP_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "harness/table.hpp"
+
+namespace morpheus {
+
+/** Options shared by every registered experiment scenario. */
+struct ScenarioOptions
+{
+    /** Sweep worker threads (0 = default_sweep_jobs()). */
+    unsigned jobs = 0;
+    TableFormat format = TableFormat::kText;
+    /** Output stream; nullptr means std::cout. */
+    std::ostream *out = nullptr;
+};
+
+/** One runnable experiment (a paper figure/table or an example sweep). */
+struct Scenario
+{
+    const char *name;
+    const char *description;
+    int (*run)(const ScenarioOptions &);
+};
+
+/** All registered scenarios, in display order. */
+const std::vector<Scenario> &scenario_registry();
+
+/** @return nullptr when @p name is not registered. */
+const Scenario *find_scenario(const std::string &name);
+
+/** Writes the "name — description" list to @p os. */
+void list_scenarios(std::ostream &os);
+
+/**
+ * Entry point shared by the bench driver stubs: parses `--jobs N` and
+ * `--format text|csv|json`, then runs scenario @p name.
+ */
+int scenario_main(const char *name, int argc, char **argv);
+
+/**
+ * Emits a scenario's tables and commentary in the selected format.
+ * Text mode interleaves titles, tables, and notes as before; CSV mode
+ * prints `# title` comment lines between blocks; JSON mode wraps all
+ * tables of the scenario into one array of {"table", "rows"} objects
+ * (notes are dropped).
+ */
+class ScenarioEmitter
+{
+  public:
+    explicit ScenarioEmitter(const ScenarioOptions &opts);
+    ~ScenarioEmitter();
+
+    ScenarioEmitter(const ScenarioEmitter &) = delete;
+    ScenarioEmitter &operator=(const ScenarioEmitter &) = delete;
+
+    /** Emits one titled table. */
+    void table(const std::string &title, const Table &t);
+
+    /** Free-form commentary; printed in text mode only. */
+    void note(const char *fmt, ...) __attribute__((format(printf, 2, 3)));
+
+    std::ostream &out() { return os_; }
+    TableFormat format() const { return format_; }
+
+  private:
+    std::ostream &os_;
+    TableFormat format_;
+    std::size_t tables_ = 0;
+};
+
+} // namespace morpheus
+
+#endif // MORPHEUS_HARNESS_SCENARIO_HPP_

@@ -1,0 +1,182 @@
+#ifndef MORPHEUS_HARNESS_SWEEP_ENGINE_HPP_
+#define MORPHEUS_HARNESS_SWEEP_ENGINE_HPP_
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "harness/runner.hpp"
+
+namespace morpheus {
+
+/**
+ * Worker count used when a sweep does not pin one explicitly: the
+ * MORPHEUS_JOBS environment variable if set, else the hardware thread
+ * count (at least 1).
+ */
+unsigned default_sweep_jobs();
+
+/** A sweep result paired with the label of the job that produced it. */
+template <typename R>
+struct Labeled
+{
+    std::string label;
+    R value{};
+};
+
+/**
+ * An ordered fan-out pool: submit labeled tasks, run them on up to N
+ * worker threads, and collect the results **in submission order**, so a
+ * parallel sweep's output is byte-identical to a serial one.
+ *
+ * Tasks must be independent: each builds its own simulator state and
+ * shares nothing mutable with its siblings (the simulator holds all run
+ * state inside GpuSystem/SyntheticWorkload instances, and its only
+ * global — the app catalog — is immutable after construction).
+ *
+ * Exceptions thrown by tasks are captured per job and rethrown (lowest
+ * submission index first) after all workers join, so failure behavior is
+ * deterministic too.
+ */
+template <typename R>
+class ParallelRunner
+{
+  public:
+    /** @param workers worker threads; 0 picks default_sweep_jobs(). */
+    explicit ParallelRunner(unsigned workers = 0)
+        : workers_(workers == 0 ? default_sweep_jobs() : workers)
+    {
+    }
+
+    unsigned workers() const { return workers_; }
+
+    /** Queues a task; returns its submission index. */
+    std::size_t
+    submit(std::string label, std::function<R()> fn)
+    {
+        tasks_.push_back(Task{std::move(label), std::move(fn)});
+        return tasks_.size() - 1;
+    }
+
+    /**
+     * Runs every submitted task and returns the results in submission
+     * order. The task list is consumed; the runner can be reused for a
+     * new batch afterwards.
+     */
+    std::vector<Labeled<R>>
+    run_all()
+    {
+        const std::size_t n = tasks_.size();
+        std::vector<std::optional<R>> slots(n);
+        std::vector<std::exception_ptr> errors(n);
+
+        const unsigned pool = static_cast<unsigned>(
+            std::min<std::size_t>(workers_, n ? n : 1));
+        if (pool <= 1) {
+            for (std::size_t i = 0; i < n; ++i)
+                run_one(i, slots, errors);
+        } else {
+            std::atomic<std::size_t> next{0};
+            std::vector<std::thread> threads;
+            threads.reserve(pool);
+            for (unsigned w = 0; w < pool; ++w) {
+                threads.emplace_back([&] {
+                    for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1))
+                        run_one(i, slots, errors);
+                });
+            }
+            for (auto &t : threads)
+                t.join();
+        }
+
+        for (std::size_t i = 0; i < n; ++i) {
+            if (errors[i])
+                std::rethrow_exception(errors[i]);
+        }
+
+        std::vector<Labeled<R>> results;
+        results.reserve(n);
+        for (std::size_t i = 0; i < n; ++i)
+            results.push_back(Labeled<R>{std::move(tasks_[i].label), std::move(*slots[i])});
+        tasks_.clear();
+        return results;
+    }
+
+  private:
+    struct Task
+    {
+        std::string label;
+        std::function<R()> fn;
+    };
+
+    void
+    run_one(std::size_t i, std::vector<std::optional<R>> &slots,
+            std::vector<std::exception_ptr> &errors)
+    {
+        try {
+            slots[i].emplace(tasks_[i].fn());
+        } catch (...) {
+            errors[i] = std::current_exception();
+            slots[i].emplace();
+        }
+    }
+
+    unsigned workers_;
+    std::vector<Task> tasks_;
+};
+
+/** One simulation job: build @p setup, run @p params on it. */
+struct SweepJob
+{
+    SystemSetup setup;
+    WorkloadParams params;
+    std::string label;
+};
+
+/** Field-by-field (bit-identical doubles) comparison of two results. */
+bool run_results_identical(const RunResult &a, const RunResult &b);
+
+/**
+ * The experiment sweep engine: shards independent (SystemSetup,
+ * WorkloadParams, label) simulation jobs across a thread pool. Every
+ * worker constructs its own SyntheticWorkload and GpuSystem per job, and
+ * results come back in submission order, so a sweep's output is
+ * deterministic and identical for any worker count.
+ */
+class SweepEngine
+{
+  public:
+    /** @param jobs worker threads; 0 picks default_sweep_jobs(). */
+    explicit SweepEngine(unsigned jobs = 0) : pool_(jobs) {}
+
+    unsigned workers() const { return pool_.workers(); }
+
+    /** Queues one job; returns its submission index. */
+    std::size_t add(SweepJob job);
+    std::size_t add(const SystemSetup &setup, const WorkloadParams &params,
+                    std::string label = "");
+
+    /**
+     * Runs all queued jobs and returns results in submission order.
+     * With assertions enabled, re-runs the first job serially and asserts
+     * its result is bit-identical to the pooled one — the cheap canary for
+     * the "no shared mutable state between runs" invariant the pool
+     * depends on.
+     */
+    std::vector<Labeled<RunResult>> run_all();
+
+  private:
+    ParallelRunner<RunResult> pool_;
+    /** First queued job, kept for the debug-build serial-replay canary. */
+    std::optional<SweepJob> first_job_;
+};
+
+} // namespace morpheus
+
+#endif // MORPHEUS_HARNESS_SWEEP_ENGINE_HPP_

@@ -429,9 +429,15 @@ CacheModeSm::service(Cycle when, std::uint32_t s)
         // monotonic); the block transfer overlaps the instruction work.
         Cycle t = std::max(issue(when, instrs), start);
         t += storage_access(s, kLineBytes);
-        ws.set.insert(t, task.req.line, task.version, task.dirty, level, evicted_scratch_);
+        const bool installed =
+            ws.set.insert(t, task.req.line, task.version, task.dirty, level, evicted_scratch_);
         for (const auto &ev : evicted_scratch_)
             writeback(t, ev.line, ev.version);
+        // A dirty block that bypasses the set (no compatible slot) holds
+        // the only up-to-date copy of the data: it must reach memory, or a
+        // later fetch would observe the stale pre-write version.
+        if (!installed && task.dirty)
+            writeback(t, task.req.line, task.version);
         service_time_.add(static_cast<double>(t - start));
         finish_task(t, s);
         return;
@@ -465,7 +471,6 @@ CacheModeSm::service(Cycle when, std::uint32_t s)
     }
 
     if (hit) {
-        ++hits_;
         std::uint32_t instrs = params_.data_move_instrs(ws.storage) + params_.respond_instrs;
         if (req.type == AccessType::kAtomic)
             instrs += params_.atomic_instrs;
@@ -486,7 +491,6 @@ CacheModeSm::service(Cycle when, std::uint32_t s)
     // fetch from DRAM, install, respond (§4.2.1 "Handling Extended LLC
     // Misses"). The fetch is initiated by a scheduled event so that all
     // NoC/DRAM reservations happen at monotonic event times.
-    ++misses_;
     ctx_.eq->schedule(t, [this, s, start] {
         WarpSet &wsx = sets_[s];
         dram_round_trip(ctx_.eq->now(), wsx.queue.front().req.line,
@@ -526,9 +530,13 @@ CacheModeSm::service_miss_fill(std::uint32_t s, Cycle start)
     Cycle t2 = issue(now, instrs);
     t2 += storage_access(s, kLineBytes);
     evicted_scratch_.clear();
-    ws.set.insert(t2, req.line, version, dirty, ins_level, evicted_scratch_);
+    const bool installed = ws.set.insert(t2, req.line, version, dirty, ins_level, evicted_scratch_);
     for (const auto &ev : evicted_scratch_)
         writeback(t2, ev.line, ev.version);
+    // Same staleness hazard as the insert-task path: a bypassed dirty
+    // block must still be written back.
+    if (!installed && dirty)
+        writeback(t2, req.line, version);
 
     service_time_.add(static_cast<double>(t2 - start));
     complete_task(t2, s, version, false);
@@ -541,6 +549,10 @@ CacheModeSm::complete_task(Cycle when, std::uint32_t s, std::uint64_t version, b
     // controller's response-leg NoC reservation happens at event time.
     WarpSet &ws = sets_[s];
     Task &task = ws.queue.front();
+    // Hits and misses count per requester (merged readers included), the
+    // same per-request semantics as the conventional LLC; this keeps the
+    // controller-side identity predicted_hits == hits + false positives.
+    (hit ? hits_ : misses_) += 1 + task.merged.size();
     if (task.done) {
         ctx_.eq->schedule(when, [done = std::move(task.done), when, version, hit] {
             done(when, version, hit);

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Figure 1: normalized IPC of all 17 applications as the number of
+ * compute SMs scales from 10 to 68 on the baseline GPU.
+ *
+ * Expected shapes (paper §3): the 9 saturating memory-bound apps flatten
+ * out; the 5 thrash-class apps (kmeans, histo, mri-gri, spmv, lbm) peak
+ * and then *lose* performance; the 3 compute-bound apps keep scaling.
+ */
+#include <algorithm>
+#include <vector>
+
+#include "harness/sweep_engine.hpp"
+#include "harness/table.hpp"
+#include "scenarios/scenarios.hpp"
+
+namespace morpheus::scenarios {
+
+int
+run_fig01_sm_scaling(const ScenarioOptions &opts)
+{
+    const std::vector<std::uint32_t> sm_counts = {10, 20, 30, 40, 50, 60, 68};
+    const auto &apps = app_catalog();
+
+    SweepEngine engine(opts.jobs);
+    for (const auto &app : apps) {
+        for (auto n : sm_counts)
+            engine.add(setup_with_sms(n), app.params, app.params.name);
+    }
+    const auto results = engine.run_all();
+
+    std::vector<std::string> headers = {"app (norm. IPC @10 SMs)"};
+    for (auto n : sm_counts)
+        headers.push_back(std::to_string(n));
+    headers.push_back("shape");
+    Table table(headers);
+
+    std::size_t next = 0;
+    for (const auto &app : apps) {
+        std::vector<double> ipc;
+        for (std::size_t i = 0; i < sm_counts.size(); ++i)
+            ipc.push_back(results[next++].value.ipc);
+
+        std::vector<std::string> row = {app.params.name};
+        for (double v : ipc)
+            row.push_back(fmt(v / ipc.front()));
+
+        // Classify the measured shape for quick visual checking.
+        const double peak = *std::max_element(ipc.begin(), ipc.end());
+        const double last = ipc.back();
+        const char *shape = "scaling";
+        if (app.params.memory_bound)
+            shape = last < 0.9 * peak ? "peak-then-drop" : "saturating";
+        row.push_back(shape);
+        table.add_row(std::move(row));
+    }
+
+    ScenarioEmitter emit(opts);
+    emit.table("Figure 1: IPC vs compute SMs (normalized to 10 SMs)", table);
+    emit.note("\n(IPC normalized to the 10-SM configuration, as in the paper's y-axes.)\n");
+    return 0;
+}
+
+} // namespace morpheus::scenarios

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Figure 11: characterization of the extended LLC kernel on one
+ * cache-mode SM, for the register-file / shared-memory / L1 variants
+ * across warp counts {1, 8, 16, 32, 48}:
+ *   a) capacity, b) access latency, c) access bandwidth, d) energy/byte;
+ * plus the §5 text ablation that removes the interconnect.
+ *
+ * Paper anchors: RF capacity peaks at 239 KiB (8 warps) and falls to
+ * 192 KiB (48 warps); L1/SMEM capacity is warp-count independent;
+ * latency >= 300 ns and grows with warps; bandwidth grows with warps up
+ * to ~37 GB/s (RF, 48 warps), NoC-bound; energy/byte falls with warps;
+ * removing the NoC raises bandwidth by 7.8x / 3.4x / 3.5x (RF/SMEM/L1).
+ *
+ * Every (storage, warps, noc) characterization point is an independent
+ * closed-loop experiment on its own system, so the full grid fans out
+ * across the pool.
+ */
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "gpu/gpu_system.hpp"
+#include "harness/sweep_engine.hpp"
+#include "harness/table.hpp"
+#include "morpheus/morpheus_controller.hpp"
+#include "scenarios/scenarios.hpp"
+#include "workloads/synthetic_workload.hpp"
+
+namespace morpheus::scenarios {
+namespace {
+
+struct CharPoint
+{
+    double capacity_kib = 0;
+    double latency = 0;       // cycles ~ ns
+    double bandwidth_gbs = 0; // GB/s at the 1 GHz reference clock
+    double energy_pj_per_byte = 0;
+};
+
+/** Builds a one-cache-SM system for the given storage variant. */
+SystemSetup
+make_setup(ExtStorage kind, std::uint32_t warps, bool ideal_noc)
+{
+    SystemSetup setup;
+    setup.compute_sms = 1; // the probe injector
+    setup.morpheus.enabled = true;
+    setup.morpheus.cache_sms = 1;
+    setup.morpheus.prediction = PredictionMode::kNone;
+    auto &k = setup.morpheus.kernel;
+    k.rf_warps = kind == ExtStorage::kRegisterFile ? warps : 0;
+    k.l1_warps = kind == ExtStorage::kL1 ? warps : 0;
+    k.smem_warps = kind == ExtStorage::kSharedMemory ? warps : 0;
+    if (ideal_noc) {
+        setup.cfg.noc.hop_latency = 0;
+        setup.cfg.noc.sm_link_bytes_per_cycle = 1e6;
+        setup.cfg.noc.partition_link_bytes_per_cycle = 1e6;
+    }
+    return setup;
+}
+
+/**
+ * Drives @p total accesses at @p outstanding-deep closed loop through the
+ * extended LLC and reports latency/bandwidth/energy.
+ */
+CharPoint
+characterize(ExtStorage kind, std::uint32_t warps, bool ideal_noc, std::uint32_t outstanding)
+{
+    const SystemSetup setup = make_setup(kind, warps, ideal_noc);
+
+    WorkloadParams params;
+    params.name = "fig11-probe";
+    params.total_mem_instrs = 0;
+    SyntheticWorkload workload(params);
+    GpuSystem sys(setup, workload);
+    ExtendedLlc *ext = sys.extended_llc();
+
+    CharPoint point;
+    point.capacity_kib = static_cast<double>(ext->total_capacity_bytes()) / 1024.0;
+
+    // Working lines: half the capacity, so the measurement phase hits.
+    std::vector<LineAddr> lines;
+    const std::size_t want =
+        std::max<std::size_t>(8, ext->total_capacity_bytes() / kLineBytes / 2);
+    for (LineAddr line = 0; lines.size() < want && line < want * 64; ++line) {
+        if (ext->is_extended(line))
+            lines.push_back(line);
+    }
+
+    // Warm-up: make every line resident (predicted "hits" that miss and
+    // fill), then drain.
+    for (LineAddr line : lines) {
+        MemRequest req{line, AccessType::kRead, 0, 0};
+        sys.to_llc(sys.event_queue().now(), req, [](Cycle, std::uint64_t) {});
+    }
+    sys.event_queue().run();
+
+    // Measurement: closed loop.
+    const std::uint64_t total = 4000;
+    std::uint64_t issued = 0;
+    std::uint64_t completed = 0;
+    double latency_sum = 0;
+    Cycle first_issue = sys.event_queue().now();
+    Cycle last_done = first_issue;
+
+    std::function<void()> inject = [&] {
+        if (issued >= total)
+            return;
+        const LineAddr line = lines[issued % lines.size()];
+        ++issued;
+        const Cycle start = sys.event_queue().now();
+        MemRequest req{line, AccessType::kRead, 0, 0};
+        sys.to_llc(start, req, [&, start](Cycle done, std::uint64_t) {
+            ++completed;
+            latency_sum += static_cast<double>(done - start);
+            last_done = done;
+            inject();
+        });
+    };
+    for (std::uint32_t i = 0; i < outstanding; ++i)
+        inject();
+    sys.event_queue().run();
+
+    const double duration = static_cast<double>(last_done - first_issue);
+    point.latency = latency_sum / static_cast<double>(completed);
+    point.bandwidth_gbs =
+        duration > 0 ? static_cast<double>(completed) * kLineBytes / duration : 0;
+
+    // Energy per byte: the paper measures the *marginal* GPU power while
+    // hammering the extended LLC and divides by delivered bytes. We model
+    // the same: per-access dynamic energy (kernel instructions, data
+    // array, interconnect) plus the marginal static power of the occupied
+    // fraction of the cache-mode SM, amortized over the achieved
+    // throughput (which is why energy/byte falls as warps increase).
+    const EnergyParams &ep = setup.energy;
+    double dyn_pj = ep.instr_pj * 14.0; // kernel instructions per access
+    switch (kind) {
+      case ExtStorage::kRegisterFile:
+        dyn_pj += ep.rf_pj_per_byte * kLineBytes;
+        break;
+      case ExtStorage::kSharedMemory:
+        dyn_pj += ep.smem_pj_per_byte * kLineBytes;
+        break;
+      default:
+        dyn_pj += ep.l1_pj_per_byte * kLineBytes;
+        break;
+    }
+    if (!ideal_noc)
+        dyn_pj += ep.noc_pj_per_byte * (kLineBytes + 16) * 2;
+
+    const double cycles_per_access =
+        point.bandwidth_gbs > 0 ? kLineBytes / point.bandwidth_gbs : 0;
+    const double occupied_fraction = static_cast<double>(warps) / 48.0;
+    // W * ns = 1e-9 J = 1000 pJ.
+    const double static_pj = ep.sm_static_w * occupied_fraction * cycles_per_access * 1000.0;
+    point.energy_pj_per_byte = (dyn_pj + static_pj) / kLineBytes;
+    return point;
+}
+
+} // namespace
+
+int
+run_fig11_extllc_characterization(const ScenarioOptions &opts)
+{
+    const std::uint32_t warp_counts[] = {1, 8, 16, 32, 48};
+    const ExtStorage kinds[] = {ExtStorage::kRegisterFile, ExtStorage::kSharedMemory,
+                                ExtStorage::kL1};
+
+    ParallelRunner<CharPoint> pool(opts.jobs);
+    for (ExtStorage kind : kinds) {
+        for (std::uint32_t w : warp_counts) {
+            for (bool ideal : {false, true}) {
+                pool.submit(ext_storage_name(kind),
+                            [kind, w, ideal] { return characterize(kind, w, ideal, 4 * w); });
+            }
+        }
+    }
+    const auto results = pool.run_all();
+
+    ScenarioEmitter emit(opts);
+    std::size_t next = 0;
+    for (ExtStorage kind : kinds) {
+        Table table({"warps", "a) capacity (KiB)", "b) latency (ns)", "c) bandwidth (GB/s)",
+                     "d) energy (pJ/B)", "bandwidth, no NoC (GB/s)"});
+        for (std::uint32_t w : warp_counts) {
+            const CharPoint &p = results[next++].value;
+            const CharPoint &ideal = results[next++].value;
+            table.add_row({std::to_string(w), fmt(p.capacity_kib, 0), fmt(p.latency, 0),
+                           fmt(p.bandwidth_gbs, 1), fmt(p.energy_pj_per_byte, 1),
+                           fmt(ideal.bandwidth_gbs, 1)});
+        }
+        emit.table(std::string("Figure 11: ") + ext_storage_name(kind), table);
+    }
+
+    emit.note("\npaper anchors: RF capacity 239 KiB @8 warps -> 192 KiB @48; latency >= 300 ns "
+              "rising with warps; RF bandwidth ~37 GB/s @48 warps (NoC-bound; 7.8x higher "
+              "without NoC); energy/byte falls with warps, RF lowest (~53 pJ/B @48).\n");
+    return 0;
+}
+
+} // namespace morpheus::scenarios

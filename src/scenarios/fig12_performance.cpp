@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Figure 12: execution time (top) and performance/watt (bottom) of the
+ * eight evaluated systems, normalized to the baseline (BL), for all 17
+ * applications.
+ *
+ * Paper anchors: Morpheus-ALL improves performance by ~39% over BL on the
+ * memory-bound set and lands within ~3% of the ideal IBL-4X-LLC;
+ * energy efficiency improves ~58% over BL; compute-bound apps are
+ * unaffected (<1% perf/W cost from the controller).
+ */
+#include <map>
+#include <vector>
+
+#include "harness/sweep_engine.hpp"
+#include "harness/table.hpp"
+#include "scenarios/scenarios.hpp"
+
+namespace morpheus::scenarios {
+
+int
+run_fig12_performance(const ScenarioOptions &opts)
+{
+    const auto systems = fig12_systems();
+    const auto &apps = app_catalog();
+
+    // One job per (app, system) cell plus the per-app BL normalizer.
+    SweepEngine engine(opts.jobs);
+    for (const auto &app : apps) {
+        engine.add(make_system(SystemKind::kBL, app), app.params,
+                   app.params.name + "/BL");
+        for (auto s : systems) {
+            engine.add(make_system(s, app), app.params,
+                       app.params.name + "/" + system_name(s));
+        }
+    }
+    const auto results = engine.run_all();
+
+    std::vector<std::string> headers = {"app"};
+    for (auto s : systems)
+        headers.push_back(system_name(s));
+    Table time_table(headers);
+    Table ppw_table(headers);
+
+    std::map<SystemKind, std::vector<double>> mb_speedup;
+    std::map<SystemKind, std::vector<double>> mb_ppw;
+
+    std::size_t next = 0;
+    for (const auto &app : apps) {
+        const RunResult &base = results[next++].value;
+
+        std::vector<std::string> trow = {app.params.name};
+        std::vector<std::string> prow = {app.params.name};
+        for (auto s : systems) {
+            const RunResult &r = results[next++].value;
+            const double norm_time =
+                static_cast<double>(r.cycles) / static_cast<double>(base.cycles);
+            const double norm_ppw = r.perf_per_watt / base.perf_per_watt;
+            trow.push_back(fmt(norm_time));
+            prow.push_back(fmt(norm_ppw));
+            if (app.params.memory_bound) {
+                mb_speedup[s].push_back(1.0 / norm_time);
+                mb_ppw[s].push_back(norm_ppw);
+            }
+        }
+        time_table.add_row(std::move(trow));
+        ppw_table.add_row(std::move(prow));
+    }
+
+    std::vector<std::string> trow = {"gmean (memory-bound)"};
+    std::vector<std::string> prow = {"gmean (memory-bound)"};
+    for (auto s : systems) {
+        trow.push_back(fmt(1.0 / geomean(mb_speedup[s])));
+        prow.push_back(fmt(geomean(mb_ppw[s])));
+    }
+    time_table.add_row(std::move(trow));
+    ppw_table.add_row(std::move(prow));
+
+    ScenarioEmitter emit(opts);
+    emit.table("Figure 12 (top): normalized execution time (lower is better)", time_table);
+    emit.table("Figure 12 (bottom): normalized performance/watt (higher is better)", ppw_table);
+    emit.note("\npaper anchors (memory-bound gmean): Morpheus-ALL speedup ~1.39x over BL, "
+              "within 3%% of IBL-4X-LLC; perf/W ~1.58x over BL\n");
+    return 0;
+}
+
+} // namespace morpheus::scenarios

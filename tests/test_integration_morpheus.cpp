@@ -125,8 +125,9 @@ TEST(MorpheusIntegration, ExtLatencyOrderingMatchesFig5)
     const RunResult r = run_morpheus(p, 34, 34);
     // Predicted misses are served at conventional-miss speed, cheaper
     // than mispredicted (forwarded) misses.
-    if (r.ext_misses > 10 && r.ext_predicted_misses > 10)
+    if (r.ext_misses > 10 && r.ext_predicted_misses > 10) {
         EXPECT_LT(r.pred_miss_latency, r.ext_miss_latency);
+    }
     // Extended hits are slower than conventional hits but far faster
     // than mispredicted misses (unloaded anchors: 325 vs 160 vs 773).
     EXPECT_GT(r.ext_hit_latency, r.conv_hit_latency);

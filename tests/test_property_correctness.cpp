@@ -3,7 +3,9 @@
 #include <unordered_map>
 
 #include "gpu/gpu_system.hpp"
+#include "morpheus/morpheus_controller.hpp"
 #include "sim/rng.hpp"
+#include "test_util.hpp"
 #include "workloads/synthetic_workload.hpp"
 
 using namespace morpheus;
@@ -129,4 +131,70 @@ TEST(ReadYourWritesSeeds, MultipleSeeds)
         CorrectnessRig rig(true, PredictionMode::kBloom, false);
         rig.run_random_traffic(seed, 800, 1500);
     }
+}
+
+TEST(PredictedMissWritePropagation, SequentialWriteThenReadOnExtendedLines)
+{
+    // The predicted-miss fast path answers from DRAM and only *queues*
+    // the (possibly dirty) block for insertion. A read issued after a
+    // write to the same extended line must still observe the written
+    // version: the insert task is queued on the same warp-set FIFO as the
+    // read, so it installs before the read is served.
+    CorrectnessRig rig(true, PredictionMode::kBloom, false);
+    ExtendedLlc *ext = rig.sys->extended_llc();
+
+    int covered = 0;
+    for (LineAddr line = 0; line < 6000 && covered < 64; ++line) {
+        if (!ext->is_extended(line))
+            continue;
+        ++covered;
+        const std::uint64_t written = rig.access(line, AccessType::kWrite);
+        const std::uint64_t seen = rig.access(line, AccessType::kRead);
+        ASSERT_EQ(seen, written) << "stale read after write to extended line " << line;
+    }
+    ASSERT_GT(covered, 0);
+}
+
+TEST(PredictedMissWritePropagation, DirtyBlockBypassingTheSetReachesMemory)
+{
+    // Regression: a dirty insertion that finds no compatible slot
+    // bypasses the extended set; its version is the only up-to-date copy
+    // and must be written back, or the next fetch serves the stale
+    // pre-write data. A 32-byte L1-backed set (smaller than one line)
+    // bypasses every insertion.
+    test::TestFabric fabric;
+    std::vector<std::unique_ptr<LlcPartition>> partitions;
+    for (std::uint32_t p = 0; p < fabric.cfg.llc_partitions; ++p) {
+        partitions.push_back(
+            std::make_unique<LlcPartition>(p, fabric.ctx(), 256, 16, 90, 4, 2));
+    }
+    WorkloadParams wp;
+    wp.name = "bypass-test";
+    SyntheticWorkload wl(wp);
+    ExtLlcParams params;
+    params.rf_warps = 0;
+    params.l1_warps = 1;
+    params.smem_warps = 0;
+    CacheModeSm sm(10, fabric.ctx(), params, fabric.cfg.rf_bytes, /*l1_bytes=*/32, &wl,
+                   &partitions);
+    ASSERT_EQ(sm.set_max_blocks(0), 0u) << "set unexpectedly fits a block";
+
+    // The controller's predicted-miss write path: respond immediately,
+    // queue the dirty block for insertion.
+    const LineAddr line = 5;
+    const std::uint64_t version = 7;
+    sm.enqueue_insert(fabric.eq.now(), 0, line, version, /*dirty=*/true);
+    fabric.eq.run();
+
+    EXPECT_EQ(fabric.store.read(line), version)
+        << "dirty bypassed block never reached the backing store";
+
+    // And a subsequent read (a predictor false positive on the bypassed
+    // line) must fetch the written version, not the pre-write one.
+    std::uint64_t seen = ~0ull;
+    MemRequest req{line, AccessType::kRead, 0, 0};
+    sm.enqueue_request(fabric.eq.now(), 0, req,
+                       [&](Cycle, std::uint64_t v, bool) { seen = v; });
+    fabric.eq.run();
+    EXPECT_EQ(seen, version);
 }

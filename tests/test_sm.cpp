@@ -121,3 +121,74 @@ TEST(Sm, NonBlockingWritesDoNotStall)
     // Fire-and-forget stores: far faster than 64 x 800 cycles.
     EXPECT_LT(fabric.eq.now(), 64u * 800u / 4);
 }
+
+namespace {
+
+/** Two warps with exactly one single-line read step each. */
+class TwoWarpWorkload : public Workload
+{
+  public:
+    const WorkloadInfo &info() const override { return info_; }
+    void configure(std::uint32_t) override {}
+    std::uint32_t warps_on(std::uint32_t) const override { return 2; }
+
+    bool
+    next_step(std::uint32_t, std::uint32_t warp, WarpStep &out) override
+    {
+        if (done_[warp])
+            return false;
+        done_[warp] = true;
+        out = WarpStep{};
+        out.num_lines = 1;
+        out.lines[0] = 0x1000 + warp; // distinct lines, distinct sets
+        out.type = AccessType::kRead;
+        return true;
+    }
+
+    Block synthesize_block(LineAddr) const override { return Block{}; }
+
+  private:
+    WorkloadInfo info_{"two-warp", true};
+    bool done_[2] = {false, false};
+};
+
+} // namespace
+
+TEST(Sm, NoDuplicateIssueEventForWarpsLaunchedAtCycleZero)
+{
+    // Regression: schedule_issue() used `issue_event_at_ != 0` as its
+    // "nothing armed" sentinel, but cycle 0 is a valid schedule time — an
+    // event armed AT cycle 0 was indistinguishable from none, so a second
+    // completion in the same cycle armed a duplicate issue event.
+    //
+    // Find an SM index whose warps 0 and 1 both get a zero launch stagger
+    // (mix64(index * 131 + w) % 512 == 0): with a zero-latency L1 and
+    // router, both warps then issue AND complete their memory step at
+    // cycle 0.
+    std::uint32_t index = 0;
+    bool found = false;
+    for (std::uint64_t i = 0; i < 2'000'000; ++i) {
+        if (mix64(i * 131) % 512 == 0 && mix64(i * 131 + 1) % 512 == 0) {
+            index = static_cast<std::uint32_t>(i);
+            found = true;
+            break;
+        }
+    }
+    ASSERT_TRUE(found) << "no SM index with two zero-stagger warps in range";
+
+    TestFabric fabric;
+    fabric.cfg.l1_latency = 0;
+    fabric.cfg.warp_mem_credits = 1;
+    FakeRouter router(fabric, 0);
+    TwoWarpWorkload wl;
+    Sm sm(index, fabric.ctx(), &router, &wl);
+    sm.start();
+    fabric.eq.run();
+
+    EXPECT_TRUE(sm.done());
+    EXPECT_EQ(sm.mem_instructions(), 2u);
+    // Exactly two issue events: the one armed by start() (which issues
+    // both warps), and ONE armed by the two same-cycle completions — the
+    // second completion must be suppressed by the pending-event guard.
+    EXPECT_EQ(sm.issue_events(), 2u);
+}
