@@ -1,0 +1,13 @@
+/**
+ * @file
+ * Driver stub for the "bloom_sensitivity" scenario (see src/scenarios/). Runs the
+ * same sweep as `morpheus_cli --scenario bloom_sensitivity`; accepts --jobs N,
+ * --format text|csv|json, and --output FILE.
+ */
+#include "harness/scenario.hpp"
+
+int
+main(int argc, char **argv)
+{
+    return morpheus::scenario_main("bloom_sensitivity", argc, argv);
+}

@@ -1,8 +1,8 @@
 /**
  * @file
  * Driver stub for the "fig01_sm_scaling" scenario (see src/scenarios/). Runs the same
- * sweep as `morpheus_cli --scenario fig01_sm_scaling`; accepts --jobs N and
- * --format text|csv|json.
+ * sweep as `morpheus_cli --scenario fig01_sm_scaling`; accepts --jobs N,
+ * --format text|csv|json, and --output FILE.
  */
 #include "harness/scenario.hpp"
 

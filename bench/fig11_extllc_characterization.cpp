@@ -1,8 +1,8 @@
 /**
  * @file
  * Driver stub for the "fig11_extllc_characterization" scenario (see src/scenarios/). Runs the same
- * sweep as `morpheus_cli --scenario fig11_extllc_characterization`; accepts --jobs N and
- * --format text|csv|json.
+ * sweep as `morpheus_cli --scenario fig11_extllc_characterization`; accepts --jobs N,
+ * --format text|csv|json, and --output FILE.
  */
 #include "harness/scenario.hpp"
 

@@ -1,8 +1,8 @@
 /**
  * @file
  * Driver stub for the "fig12_performance" scenario (see src/scenarios/). Runs the same
- * sweep as `morpheus_cli --scenario fig12_performance`; accepts --jobs N and
- * --format text|csv|json.
+ * sweep as `morpheus_cli --scenario fig12_performance`; accepts --jobs N,
+ * --format text|csv|json, and --output FILE.
  */
 #include "harness/scenario.hpp"
 

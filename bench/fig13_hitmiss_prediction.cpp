@@ -1,8 +1,8 @@
 /**
  * @file
  * Driver stub for the "fig13_hitmiss_prediction" scenario (see src/scenarios/). Runs the same
- * sweep as `morpheus_cli --scenario fig13_hitmiss_prediction`; accepts --jobs N and
- * --format text|csv|json.
+ * sweep as `morpheus_cli --scenario fig13_hitmiss_prediction`; accepts --jobs N,
+ * --format text|csv|json, and --output FILE.
  */
 #include "harness/scenario.hpp"
 

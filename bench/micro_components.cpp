@@ -1,8 +1,8 @@
 /**
  * @file
  * Driver stub for the "micro_components" scenario (see src/scenarios/). Runs the same
- * sweep as `morpheus_cli --scenario micro_components`; accepts --jobs N and
- * --format text|csv|json.
+ * sweep as `morpheus_cli --scenario micro_components`; accepts --jobs N,
+ * --format text|csv|json, and --output FILE.
  */
 #include "harness/scenario.hpp"
 

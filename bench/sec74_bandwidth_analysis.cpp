@@ -1,8 +1,8 @@
 /**
  * @file
  * Driver stub for the "sec74_bandwidth_analysis" scenario (see src/scenarios/). Runs the same
- * sweep as `morpheus_cli --scenario sec74_bandwidth_analysis`; accepts --jobs N and
- * --format text|csv|json.
+ * sweep as `morpheus_cli --scenario sec74_bandwidth_analysis`; accepts --jobs N,
+ * --format text|csv|json, and --output FILE.
  */
 #include "harness/scenario.hpp"
 

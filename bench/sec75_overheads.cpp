@@ -1,8 +1,8 @@
 /**
  * @file
  * Driver stub for the "sec75_overheads" scenario (see src/scenarios/). Runs the same
- * sweep as `morpheus_cli --scenario sec75_overheads`; accepts --jobs N and
- * --format text|csv|json.
+ * sweep as `morpheus_cli --scenario sec75_overheads`; accepts --jobs N,
+ * --format text|csv|json, and --output FILE.
  */
 #include "harness/scenario.hpp"
 

@@ -7,6 +7,9 @@
  *   morpheus_cli <app> [system] [compute_sms] [cache_sms]
  *   morpheus_cli --list
  *   morpheus_cli --scenario <name> [--jobs N] [--format text|csv|json]
+ *                [--output FILE]
+ *   morpheus_cli --all [--jobs N] [--format text|csv|json]
+ *                [--output-dir DIR]
  *
  *   app     one of the 17 Table 2 names (p-bfs, cfd, ..., mri-q)
  *   system  BL | IBL | IBL4X | FREQ | UNIFIED | BASIC | COMPR | MOV |
@@ -17,6 +20,10 @@
  * Scenario mode runs any registered experiment sweep (every paper figure
  * and table) through the SweepEngine: --jobs N shards its independent
  * simulation runs over N worker threads with byte-identical output.
+ * --output persists the run's metrics as a BENCH_<scenario>.json report
+ * (docs/REPORT_SCHEMA.md); --all runs every scenario, writing one report
+ * per scenario into --output-dir (the regression-gate input for
+ * morpheus_bench_diff).
  *
  * Examples:
  *   morpheus_cli kmeans                 # kmeans on Morpheus-ALL
@@ -24,6 +31,8 @@
  *   morpheus_cli lbm ALL 26 42          # explicit 26 compute / 42 cache
  *   morpheus_cli --list                 # registered scenarios
  *   morpheus_cli --scenario fig12_performance --jobs 8
+ *   morpheus_cli --scenario fig12_performance --output out.json
+ *   morpheus_cli --all --output-dir reports/
  */
 #include <cstdio>
 #include <cstdlib>
@@ -75,7 +84,10 @@ usage()
                  "usage: morpheus_cli <app> [BL|IBL|IBL4X|FREQ|UNIFIED|BASIC|COMPR|MOV|ALL|"
                  "LARGER] [compute_sms cache_sms]\n"
                  "       morpheus_cli --list\n"
-                 "       morpheus_cli --scenario <name> [--jobs N] [--format text|csv|json]\n"
+                 "       morpheus_cli --scenario <name> [--jobs N] [--format text|csv|json]"
+                 " [--output FILE]\n"
+                 "       morpheus_cli --all [--jobs N] [--format text|csv|json]"
+                 " [--output-dir DIR]\n"
                  "apps:");
     for (const auto &app : app_catalog())
         std::fprintf(stderr, " %s", app.params.name.c_str());
@@ -110,6 +122,12 @@ main(int argc, char **argv)
         }
         // Reuse the shared flag parser; it sees only the trailing options.
         return scenario_main(argv[2], argc - 2, argv + 2);
+    }
+
+    if (std::strcmp(argv[1], "--all") == 0) {
+        // Shared flag parser (same validation as --scenario mode); it
+        // sees only the trailing options.
+        return scenario_all_main(argc - 1, argv + 1);
     }
     const AppSpec *app = find_app(argv[1]);
     if (!app) {

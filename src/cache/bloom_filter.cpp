@@ -7,7 +7,7 @@ namespace morpheus {
 void
 BloomFilter::insert(std::uint64_t key)
 {
-    for (std::uint32_t i = 0; i < kProbes; ++i) {
+    for (std::uint32_t i = 0; i < probes_; ++i) {
         const std::uint32_t bit = probe_bit(key, i);
         words_[bit / 64] |= 1ULL << (bit % 64);
     }
@@ -16,7 +16,7 @@ BloomFilter::insert(std::uint64_t key)
 bool
 BloomFilter::maybe_contains(std::uint64_t key) const
 {
-    for (std::uint32_t i = 0; i < kProbes; ++i) {
+    for (std::uint32_t i = 0; i < probes_; ++i) {
         const std::uint32_t bit = probe_bit(key, i);
         if (!(words_[bit / 64] & (1ULL << (bit % 64))))
             return false;

@@ -1,6 +1,7 @@
 #ifndef MORPHEUS_CACHE_BLOOM_FILTER_HPP_
 #define MORPHEUS_CACHE_BLOOM_FILTER_HPP_
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -27,25 +28,36 @@ class BloomFilter
     /** Default filter size in bits (32 bytes, per paper §4.1.2). */
     static constexpr std::uint32_t kDefaultBits = 256;
 
-    /** Number of hash probes per key. */
+    /** Default number of hash probes per key. */
     static constexpr std::uint32_t kProbes = 4;
 
-    explicit BloomFilter(std::uint32_t bits = kDefaultBits)
-        : bits_(bits < 64 ? 64 : bits), words_((bits_ + 63) / 64, 0)
+    /** Default bits budgeted per tracked element (256 bits / 32 ways). */
+    static constexpr std::uint32_t kDefaultBitsPerEntry = 8;
+
+    explicit BloomFilter(std::uint32_t bits = kDefaultBits, std::uint32_t probes = kProbes)
+        : bits_(bits < 64 ? 64 : bits), probes_(probes < 1 ? 1 : probes),
+          words_((bits_ + 63) / 64, 0)
     {
     }
 
     /**
-     * A filter sized to keep ~8 bits per tracked element (the paper's
-     * 256 bits / 32 ways ratio), rounded up to a power of two.
+     * A filter sized to keep ~@p bits_per_entry bits per tracked element
+     * (default: the paper's 256 bits / 32 ways ratio), rounded up to a
+     * power of two. @p probes sets the hash count (the predictor
+     * sensitivity sweep varies both; everything else uses the defaults).
      */
     static BloomFilter
-    sized_for(std::uint32_t max_elements)
+    sized_for(std::uint32_t max_elements, std::uint32_t bits_per_entry = kDefaultBitsPerEntry,
+              std::uint32_t probes = kProbes)
     {
-        std::uint32_t bits = kDefaultBits;
-        while (bits < 8 * max_elements)
+        // Keep the paper-nominal 256-bit floor so small sets do not get
+        // degenerate filters at low bits-per-entry settings.
+        std::uint32_t bits = kDefaultBits * std::max(1u, bits_per_entry) / kDefaultBitsPerEntry;
+        if (bits < 64)
+            bits = 64;
+        while (bits < bits_per_entry * max_elements)
             bits *= 2;
-        return BloomFilter(bits);
+        return BloomFilter(bits, probes);
     }
 
     /** Inserts @p key. */
@@ -66,6 +78,7 @@ class BloomFilter
     std::uint32_t popcount() const;
 
     std::uint32_t bits() const { return bits_; }
+    std::uint32_t probes() const { return probes_; }
 
     /** Storage cost in bytes, as accounted in the paper's overhead analysis. */
     std::uint32_t storage_bytes() const { return bits_ / 8; }
@@ -82,6 +95,7 @@ class BloomFilter
     }
 
     std::uint32_t bits_;
+    std::uint32_t probes_;
     std::vector<std::uint64_t> words_;
 };
 

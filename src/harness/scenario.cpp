@@ -1,10 +1,17 @@
 #include "harness/scenario.hpp"
 
+#include <chrono>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <iostream>
+#include <system_error>
+
+#include "harness/report.hpp"
+#include "harness/sweep_engine.hpp"
+#include "workloads/app_catalog.hpp"
 
 namespace morpheus {
 
@@ -26,35 +33,151 @@ list_scenarios(std::ostream &os)
 }
 
 int
-scenario_main(const char *name, int argc, char **argv)
+run_scenario_with_report(const Scenario &s, ScenarioOptions opts, const std::string &output_path)
 {
-    ScenarioOptions opts;
+    RunReport report(s.name);
+    report.set_work_scale(work_scale());
+    report.set_jobs(opts.jobs ? opts.jobs : default_sweep_jobs());
+    opts.report = &report;
+
+    const auto begin = std::chrono::steady_clock::now();
+    const int rc = s.run(opts);
+    const auto end = std::chrono::steady_clock::now();
+    report.set_wall_ms(
+        std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(end - begin)
+            .count());
+
+    if (rc != 0 || output_path.empty())
+        return rc;
+
+    std::string error;
+    if (!report.save_file(output_path, error)) {
+        std::fprintf(stderr, "failed to write report: %s\n", error.c_str());
+        return 1;
+    }
+    std::fprintf(stderr, "wrote %s (%zu entries)\n", output_path.c_str(),
+                 report.entries().size());
+    return 0;
+}
+
+int
+run_all_scenarios(const ScenarioOptions &opts, const std::string &output_dir)
+{
+    if (!output_dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(output_dir, ec);
+        if (ec) {
+            std::fprintf(stderr, "cannot create output dir '%s': %s\n", output_dir.c_str(),
+                         ec.message().c_str());
+            return 1;
+        }
+    }
+    std::ostream &os = opts.out ? *opts.out : std::cout;
+    int rc = 0;
+    bool first = true;
+    // JSON mode: every scenario emits its own top-level array, so wrap
+    // them in one {"scenario": name, "tables": [...]} array to keep the
+    // combined stdout a single valid JSON document.
+    if (opts.format == TableFormat::kJson)
+        os << "[\n";
+    for (const auto &s : scenario_registry()) {
+        switch (opts.format) {
+          case TableFormat::kText:
+            os << "===== " << s.name << " =====\n";
+            break;
+          case TableFormat::kCsv:
+            os << (first ? "" : "\n") << "## scenario: " << s.name << '\n';
+            break;
+          case TableFormat::kJson:
+            os << (first ? "" : ",\n") << "{\"scenario\": \"" << s.name << "\", \"tables\": ";
+            break;
+        }
+        first = false;
+        std::string path;
+        if (!output_dir.empty())
+            path = output_dir + "/" + RunReport::default_filename(s.name);
+        const int one = run_scenario_with_report(s, opts, path);
+        if (rc == 0)
+            rc = one;
+        if (opts.format == TableFormat::kText)
+            os << '\n';
+        else if (opts.format == TableFormat::kJson)
+            os << "}";
+    }
+    if (opts.format == TableFormat::kJson)
+        os << "\n]\n";
+    return rc;
+}
+
+namespace {
+
+bool
+parse_jobs_value(const char *arg, unsigned &out)
+{
+    char *end = nullptr;
+    const long v = std::strtol(arg, &end, 10);
+    if (end == arg || *end != '\0' || v < 0) {
+        std::fprintf(stderr, "invalid --jobs value '%s' (expected N >= 0; 0 = auto)\n", arg);
+        return false;
+    }
+    out = static_cast<unsigned>(v);
+    return true;
+}
+
+/**
+ * Parses the shared scenario flags into @p opts / @p path. @p path_flag
+ * names the output flag ("--output" or "--output-dir"). @return false
+ * (after printing a usage line) on any invalid flag.
+ */
+bool
+parse_scenario_flags(int argc, char **argv, const char *path_flag, ScenarioOptions &opts,
+                     std::string &path)
+{
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-            char *end = nullptr;
-            const long v = std::strtol(argv[++i], &end, 10);
-            if (end == argv[i] || *end != '\0' || v < 0) {
-                std::fprintf(stderr, "invalid --jobs value '%s' (expected N >= 0; 0 = auto)\n",
-                             argv[i]);
-                return 2;
-            }
-            opts.jobs = static_cast<unsigned>(v);
+            if (!parse_jobs_value(argv[++i], opts.jobs))
+                return false;
         } else if (std::strcmp(argv[i], "--format") == 0 && i + 1 < argc) {
             if (!parse_table_format(argv[++i], opts.format)) {
                 std::fprintf(stderr, "unknown format '%s' (text|csv|json)\n", argv[i]);
-                return 2;
+                return false;
             }
+        } else if (std::strcmp(argv[i], path_flag) == 0 && i + 1 < argc) {
+            path = argv[++i];
         } else {
-            std::fprintf(stderr, "usage: %s [--jobs N] [--format text|csv|json]\n", argv[0]);
-            return 2;
+            std::fprintf(stderr, "usage: %s [--jobs N] [--format text|csv|json] [%s PATH]\n",
+                         argv[0], path_flag);
+            return false;
         }
     }
+    return true;
+}
+
+} // namespace
+
+int
+scenario_main(const char *name, int argc, char **argv)
+{
+    ScenarioOptions opts;
+    std::string output_path;
+    if (!parse_scenario_flags(argc, argv, "--output", opts, output_path))
+        return 2;
     const Scenario *s = find_scenario(name);
     if (!s) {
         std::fprintf(stderr, "scenario '%s' is not registered\n", name);
         return 2;
     }
-    return s->run(opts);
+    return run_scenario_with_report(*s, opts, output_path);
+}
+
+int
+scenario_all_main(int argc, char **argv)
+{
+    ScenarioOptions opts;
+    std::string output_dir;
+    if (!parse_scenario_flags(argc, argv, "--output-dir", opts, output_dir))
+        return 2;
+    return run_all_scenarios(opts, output_dir);
 }
 
 ScenarioEmitter::ScenarioEmitter(const ScenarioOptions &opts)

@@ -9,6 +9,8 @@
 
 namespace morpheus {
 
+class RunReport;
+
 /** Options shared by every registered experiment scenario. */
 struct ScenarioOptions
 {
@@ -17,6 +19,9 @@ struct ScenarioOptions
     TableFormat format = TableFormat::kText;
     /** Output stream; nullptr means std::cout. */
     std::ostream *out = nullptr;
+    /** When non-null, the scenario records every job's metrics here
+     *  (persisted as BENCH_<scenario>.json; see harness/report.hpp). */
+    RunReport *report = nullptr;
 };
 
 /** One runnable experiment (a paper figure/table or an example sweep). */
@@ -37,10 +42,35 @@ const Scenario *find_scenario(const std::string &name);
 void list_scenarios(std::ostream &os);
 
 /**
- * Entry point shared by the bench driver stubs: parses `--jobs N` and
- * `--format text|csv|json`, then runs scenario @p name.
+ * Entry point shared by the bench driver stubs: parses `--jobs N`,
+ * `--format text|csv|json`, and `--output FILE` (write a
+ * BENCH_<scenario>.json report; see docs/REPORT_SCHEMA.md), then runs
+ * scenario @p name.
  */
 int scenario_main(const char *name, int argc, char **argv);
+
+/**
+ * Runs scenario @p s with a RunReport attached and, when @p output_path
+ * is non-empty, persists the report there. @return the scenario's exit
+ * code (file-write failures return 1).
+ */
+int run_scenario_with_report(const Scenario &s, ScenarioOptions opts,
+                             const std::string &output_path);
+
+/**
+ * Runs every registered scenario in display order (`morpheus_cli --all`).
+ * When @p output_dir is non-empty, each scenario's report is written to
+ * `<output_dir>/BENCH_<name>.json`. @return the first nonzero scenario
+ * exit code, else 0.
+ */
+int run_all_scenarios(const ScenarioOptions &opts, const std::string &output_dir);
+
+/**
+ * Flag-parsing entry point behind `morpheus_cli --all`: accepts
+ * `--jobs N`, `--format text|csv|json`, and `--output-dir DIR` (same
+ * validation as scenario_main), then runs every registered scenario.
+ */
+int scenario_all_main(int argc, char **argv);
 
 /**
  * Emits a scenario's tables and commentary in the selected format.

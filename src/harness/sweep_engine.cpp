@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cstdlib>
 
+#include "harness/report.hpp"
+
 namespace morpheus {
 
 unsigned
@@ -65,12 +67,12 @@ SweepEngine::add(const SystemSetup &setup, const WorkloadParams &params, std::st
 std::vector<Labeled<RunResult>>
 SweepEngine::run_all()
 {
-#ifdef NDEBUG
-    return pool_.run_all();
-#else
+#ifndef NDEBUG
     std::optional<SweepJob> canary;
     canary.swap(first_job_);
+#endif
     auto results = pool_.run_all();
+#ifndef NDEBUG
     if (pool_.workers() > 1 && canary && !results.empty()) {
         // Shared-mutable-state canary: a serial re-run of the first job
         // must reproduce the pooled result bit for bit.
@@ -79,8 +81,12 @@ SweepEngine::run_all()
                "SweepEngine: parallel run diverged from serial replay — "
                "simulation state is leaking between runs");
     }
-    return results;
 #endif
+    if (report_) {
+        for (const auto &r : results)
+            report_->add_run(r.label, r.value);
+    }
+    return results;
 }
 
 } // namespace morpheus

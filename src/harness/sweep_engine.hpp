@@ -15,6 +15,8 @@
 
 namespace morpheus {
 
+class RunReport;
+
 /**
  * Worker count used when a sweep does not pin one explicitly: the
  * MORPHEUS_JOBS environment variable if set, else the hardware thread
@@ -157,6 +159,14 @@ class SweepEngine
 
     unsigned workers() const { return pool_.workers(); }
 
+    /**
+     * Attaches a result-persistence sink (harness/report.hpp): run_all()
+     * then appends every job's standard metric set, in submission order.
+     * nullptr (the default) disables recording; scenarios pass
+     * ScenarioOptions::report straight through.
+     */
+    void set_report(RunReport *report) { report_ = report; }
+
     /** Queues one job; returns its submission index. */
     std::size_t add(SweepJob job);
     std::size_t add(const SystemSetup &setup, const WorkloadParams &params,
@@ -173,6 +183,7 @@ class SweepEngine
 
   private:
     ParallelRunner<RunResult> pool_;
+    RunReport *report_ = nullptr;
     /** First queued job, kept for the debug-build serial-replay canary. */
     std::optional<SweepJob> first_job_;
 };

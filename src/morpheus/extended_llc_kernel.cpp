@@ -54,9 +54,11 @@ ExtSet::ExtSet(std::uint32_t budget_bytes, bool compression, Cycle epoch_cycles)
 const ExtSet::Entry *
 ExtSet::find(LineAddr line) const
 {
-    for (const auto &e : entries_) {
-        if (e.line == line)
-            return &e;
+    if (bucket_count_[bucket(line)] == 0)
+        return nullptr; // definitely absent — skip the tag scan
+    for (std::size_t i = 0; i < tags_.size(); ++i) {
+        if (tags_[i] == line)
+            return &entries_[i];
     }
     return nullptr;
 }
@@ -64,11 +66,17 @@ ExtSet::find(LineAddr line) const
 ExtSet::Entry *
 ExtSet::find(LineAddr line)
 {
-    for (auto &e : entries_) {
-        if (e.line == line)
-            return &e;
-    }
-    return nullptr;
+    return const_cast<Entry *>(static_cast<const ExtSet *>(this)->find(line));
+}
+
+void
+ExtSet::remove_at(std::size_t i)
+{
+    --bucket_count_[bucket(tags_[i])];
+    entries_[i] = entries_.back();
+    entries_.pop_back();
+    tags_[i] = tags_.back();
+    tags_.pop_back();
 }
 
 bool
@@ -187,8 +195,7 @@ ExtSet::insert(Cycle now, LineAddr line, std::uint64_t version, bool dirty, Comp
                 victim = i;
         }
         const Entry v = entries_[victim];
-        entries_[victim] = entries_.back();
-        entries_.pop_back();
+        remove_at(victim);
         --used_[static_cast<std::size_t>(v.slot_level)];
         if (v.dirty)
             evicted.push_back(Evicted{v.line, v.version, true});
@@ -206,6 +213,8 @@ ExtSet::insert(Cycle now, LineAddr line, std::uint64_t version, bool dirty, Comp
     ++used_[static_cast<std::size_t>(slot)];
     ++inserted_[static_cast<std::size_t>(level)];
     entries_.push_back(Entry{line, version, dirty, static_cast<CompLevel>(slot), level, ++clock_});
+    tags_.push_back(line);
+    ++bucket_count_[bucket(line)];
     return true;
 }
 

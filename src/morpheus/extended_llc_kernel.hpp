@@ -48,6 +48,16 @@ struct ExtLlcParams
     bool compression = false;       ///< BDI in the kernel (§4.3.1)
     bool hw_indirect_mov = false;   ///< ISA extension (§4.3.2)
 
+    /** @name Hit/miss predictor sizing (§4.1.2)
+     * Bloom-filter bits budgeted per set entry and hash probes per key.
+     * The paper's design point is 8 bits / 4 probes (2 x 32 B per 32-way
+     * set); the bloom_sensitivity scenario sweeps both knobs.
+     */
+    ///@{
+    std::uint32_t bloom_bits_per_entry = 8;
+    std::uint32_t bloom_probes = 4;
+    ///@}
+
     /** Kernel-visible issue bandwidth (warp-instructions/cycle). */
     std::uint32_t issue_width = 4;
 
@@ -170,6 +180,13 @@ class ExtSet
     void maybe_epoch(Cycle now);
     void rebalance();
 
+    /** Occupancy-filter bucket of @p line (see bucket_count_). */
+    static std::uint32_t bucket(LineAddr line) { return static_cast<std::uint32_t>(line) & 255u; }
+
+    /** Removes entry @p i (swap-with-back), keeping tags_ and the
+     *  occupancy filter in sync. */
+    void remove_at(std::size_t i);
+
     /** Free slots at @p level under the current allocation. */
     std::int64_t
     free_slots(std::size_t level) const
@@ -184,6 +201,13 @@ class ExtSet
     std::uint64_t clock_ = 0;
 
     std::vector<Entry> entries_;
+    /** entries_[i].line mirrored into a dense array so lookups scan 8-byte
+     *  tags instead of 40-byte Entry structs (the find() hot path). */
+    std::vector<LineAddr> tags_;
+    /** Per-bucket resident counts: find() early-outs on absent lines
+     *  (the common case on the insert path) when a line's bucket is
+     *  empty. uint16 because compressed sets can exceed 255 blocks. */
+    std::uint16_t bucket_count_[256] = {};
     std::uint32_t alloc_[3] = {0, 0, 0};   ///< slots per CompLevel
     std::uint32_t used_[3] = {0, 0, 0};
     std::uint64_t demand_[3] = {0, 0, 0};  ///< per-epoch level demand

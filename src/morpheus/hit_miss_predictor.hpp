@@ -35,10 +35,15 @@ class DualBloomPredictor
 {
   public:
     /** @param associativity blocks the set can hold (the swap threshold);
-     *  the filters are sized to keep ~8 bits per block. */
-    explicit DualBloomPredictor(std::uint32_t associativity = 32)
-        : bf1_(BloomFilter::sized_for(associativity)),
-          bf2_(BloomFilter::sized_for(associativity)), associativity_(associativity)
+     *  the filters are sized to keep ~@p bits_per_entry bits per block
+     *  with @p probes hash probes (defaults: the paper's 8 bits / 4
+     *  probes; the bloom_sensitivity scenario sweeps both). */
+    explicit DualBloomPredictor(std::uint32_t associativity = 32,
+                                std::uint32_t bits_per_entry = BloomFilter::kDefaultBitsPerEntry,
+                                std::uint32_t probes = BloomFilter::kProbes)
+        : bf1_(BloomFilter::sized_for(associativity, bits_per_entry, probes)),
+          bf2_(BloomFilter::sized_for(associativity, bits_per_entry, probes)),
+          associativity_(associativity)
     {
     }
 

@@ -39,7 +39,8 @@ ExtendedLlc::ExtendedLlc(FabricContext ctx, const ExtLlcParams &params,
     for (std::uint32_t g = 0; g < capacities.size(); ++g) {
         const std::uint32_t slot = g / sets_per_sm;
         const std::uint32_t local = g % sets_per_sm;
-        predictors_.emplace_back(sms_[slot]->set_max_blocks(local));
+        predictors_.emplace_back(sms_[slot]->set_max_blocks(local),
+                                 params_.bloom_bits_per_entry, params_.bloom_probes);
     }
 }
 

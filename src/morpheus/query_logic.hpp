@@ -1,7 +1,9 @@
 #ifndef MORPHEUS_MORPHEUS_QUERY_LOGIC_HPP_
 #define MORPHEUS_MORPHEUS_QUERY_LOGIC_HPP_
 
+#include <algorithm>
 #include <cstdint>
+#include <vector>
 
 #include "sim/stats.hpp"
 #include "sim/types.hpp"
@@ -41,7 +43,13 @@ struct QueryLogicParams
 class QueryLogic
 {
   public:
-    explicit QueryLogic(const QueryLogicParams &params = {}) : params_(params) {}
+    /** Occupancies above this clamp into the last histogram bucket. */
+    static constexpr std::uint32_t kMaxTrackedDepth = 512;
+
+    explicit QueryLogic(const QueryLogicParams &params = {})
+        : params_(params), depth_hist_(kMaxTrackedDepth + 1, 0)
+    {
+    }
 
     const QueryLogicParams &params() const { return params_; }
 
@@ -49,10 +57,17 @@ class QueryLogic
     void
     on_enqueue(Cycle /*when*/)
     {
-        ++outstanding_;
-        ++total_requests_;
+        // All occupancy statistics (histogram, mean, peak) use the same
+        // convention: the occupancy the arriving request *observes*,
+        // excluding itself. A hardware queue of depth D would reject
+        // (stall) the arrival when this is >= D, so the histogram
+        // answers "how often would depth D overflow" for every candidate
+        // D in one run (the query_depth scenario).
+        ++depth_hist_[std::min(outstanding_, kMaxTrackedDepth)];
         peak_ = std::max(peak_, outstanding_);
         depth_.add(static_cast<double>(outstanding_));
+        ++outstanding_;
+        ++total_requests_;
     }
 
     /** Records a request completing (warp responded). */
@@ -83,6 +98,21 @@ class QueryLogic
     std::uint32_t peak_outstanding() const { return peak_; }
     std::uint64_t total_requests() const { return total_requests_; }
     const Accumulator &depth() const { return depth_; }
+
+    /** Enqueues that observed occupancy >= @p depth, i.e. the stalls a
+     *  request queue with @p depth entries would have caused. */
+    std::uint64_t
+    overflow_events(std::uint32_t depth) const
+    {
+        std::uint64_t n = 0;
+        for (std::uint32_t d = std::min(depth, kMaxTrackedDepth); d <= kMaxTrackedDepth; ++d)
+            n += depth_hist_[d];
+        return n;
+    }
+
+    /** Per-observed-occupancy enqueue counts (index clamps at
+     *  kMaxTrackedDepth). */
+    const std::vector<std::uint64_t> &depth_histogram() const { return depth_hist_; }
     ///@}
 
   private:
@@ -91,6 +121,7 @@ class QueryLogic
     std::uint32_t peak_ = 0;
     std::uint64_t total_requests_ = 0;
     Accumulator depth_;
+    std::vector<std::uint64_t> depth_hist_;
 };
 
 } // namespace morpheus

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Predictor-sizing sensitivity sweep (ROADMAP backlog; extends the
+ * Figure 13 ablation): Morpheus-Basic with the dual-Bloom-filter
+ * predictor swept over filter bits-per-entry {2, 4, 8, 16} x hash
+ * probes {2, 4, 6}, against a Perfect-Prediction reference per app.
+ *
+ * Expected trends (paper §4.1.2 / Figure 13): the false-positive rate
+ * falls steeply with bits-per-entry; at the paper's 8-bits / 4-probes
+ * design point the Bloom predictor runs within ~1% of the perfect
+ * oracle, so doubling the storage again buys almost nothing — which is
+ * exactly why the paper stops at 2 x 32 B per set. Starved filters
+ * (2 bits/entry) mispredict enough to push time visibly toward the
+ * No-Prediction bound.
+ */
+#include <string>
+#include <vector>
+
+#include "harness/sweep_engine.hpp"
+#include "harness/table.hpp"
+#include "scenarios/scenarios.hpp"
+
+namespace morpheus::scenarios {
+
+int
+run_bloom_sensitivity(const ScenarioOptions &opts)
+{
+    const std::uint32_t bits_grid[] = {2, 4, 8, 16};
+    const std::uint32_t probe_grid[] = {2, 4, 6};
+    const char *app_names[] = {"p-bfs", "kmeans", "lbm"};
+
+    SweepEngine engine(opts.jobs);
+    engine.set_report(opts.report);
+    for (const char *name : app_names) {
+        const AppSpec *app = find_app(name);
+        engine.add(make_morpheus_system(*app, app->morpheus_basic_sms, false, false,
+                                        PredictionMode::kPerfect),
+                   app->params, app->params.name + "/perfect");
+        for (std::uint32_t bits : bits_grid) {
+            for (std::uint32_t probes : probe_grid) {
+                SystemSetup setup = make_morpheus_system(
+                    *app, app->morpheus_basic_sms, false, false, PredictionMode::kBloom);
+                setup.morpheus.kernel.bloom_bits_per_entry = bits;
+                setup.morpheus.kernel.bloom_probes = probes;
+                engine.add(setup, app->params,
+                           app->params.name + "/" + std::to_string(bits) + "b" +
+                               std::to_string(probes) + "k");
+            }
+        }
+    }
+    const auto results = engine.run_all();
+
+    Table table({"app", "bits/entry", "probes", "FP rate", "norm. time vs perfect",
+                 "predicted hits", "false positives"});
+
+    std::size_t next = 0;
+    for (const char *name : app_names) {
+        const RunResult &perfect = results[next++].value;
+        for (std::uint32_t bits : bits_grid) {
+            for (std::uint32_t probes : probe_grid) {
+                const RunResult &r = results[next++].value;
+                const double fp_rate =
+                    r.ext_predicted_hits ? static_cast<double>(r.ext_false_positives) /
+                                               static_cast<double>(r.ext_predicted_hits)
+                                         : 0.0;
+                table.add_row({name, std::to_string(bits), std::to_string(probes),
+                               fmt(100.0 * fp_rate, 2) + "%",
+                               fmt(static_cast<double>(r.cycles) /
+                                   static_cast<double>(perfect.cycles), 3),
+                               std::to_string(r.ext_predicted_hits),
+                               std::to_string(r.ext_false_positives)});
+            }
+        }
+    }
+
+    ScenarioEmitter emit(opts);
+    emit.table("Bloom predictor sensitivity: bits/set x hash count (Morpheus-Basic)", table);
+    emit.note("\nexpected trends (full work scale): FP rate falls steeply with bits/entry\n"
+              "(~2-3%% at 2 bits -> ~1%% at 8 bits and flat beyond); at the paper's design\n"
+              "point (8 bits, 4 probes) execution time lands within a few %% of the\n"
+              "Perfect-Prediction oracle (Figure 13 anchors Bloom within ~1%%), so doubling\n"
+              "the filter storage again buys ~nothing. Smoke-scale runs thrash the small\n"
+              "sets and inflate FP rates: stale-entry false positives dominate there.\n");
+    return 0;
+}
+
+} // namespace morpheus::scenarios

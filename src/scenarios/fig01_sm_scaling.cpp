@@ -23,9 +23,11 @@ run_fig01_sm_scaling(const ScenarioOptions &opts)
     const auto &apps = app_catalog();
 
     SweepEngine engine(opts.jobs);
+    engine.set_report(opts.report);
     for (const auto &app : apps) {
         for (auto n : sm_counts)
-            engine.add(setup_with_sms(n), app.params, app.params.name);
+            engine.add(setup_with_sms(n), app.params,
+                       app.params.name + "/" + std::to_string(n) + "sm");
     }
     const auto results = engine.run_all();
 

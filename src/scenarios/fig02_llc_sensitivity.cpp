@@ -30,10 +30,14 @@ run_fig02_llc_sensitivity(const ScenarioOptions &opts)
     }
 
     SweepEngine engine(opts.jobs);
+    engine.set_report(opts.report);
     for (const AppSpec *app : apps) {
         for (std::uint64_t scale : scales) {
-            for (auto n : sm_counts)
-                engine.add(setup_with_sms(n, scale * base_llc), app->params, app->params.name);
+            for (auto n : sm_counts) {
+                engine.add(setup_with_sms(n, scale * base_llc), app->params,
+                           app->params.name + "/" + std::to_string(scale) + "x/" +
+                               std::to_string(n) + "sm");
+            }
         }
     }
     const auto results = engine.run_all();

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "gpu/gpu_system.hpp"
+#include "harness/report.hpp"
 #include "harness/sweep_engine.hpp"
 #include "harness/table.hpp"
 #include "morpheus/morpheus_controller.hpp"
@@ -117,6 +118,15 @@ run_fig05_latency_timeline(const ScenarioOptions &opts)
     const Cycle pred_miss = results[1].value[0];
     const Cycle ext_hit = results[1].value[1];
     const Cycle ext_miss = results[2].value[0];
+
+    if (opts.report) {
+        ReportEntry &e = opts.report->add_entry("unloaded_latencies");
+        e.set("conv_hit", static_cast<double>(conv_hit));
+        e.set("conv_miss", static_cast<double>(conv_miss));
+        e.set("ext_hit", static_cast<double>(ext_hit));
+        e.set("ext_miss_mispredicted", static_cast<double>(ext_miss));
+        e.set("ext_predicted_miss", static_cast<double>(pred_miss));
+    }
 
     Table table({"event", "paper (ns)", "measured (cycles ~ ns)"});
     table.add_row({"conventional LLC hit", "~160", std::to_string(conv_hit)});

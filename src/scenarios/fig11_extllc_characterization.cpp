@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "gpu/gpu_system.hpp"
+#include "harness/report.hpp"
 #include "harness/sweep_engine.hpp"
 #include "harness/table.hpp"
 #include "morpheus/morpheus_controller.hpp"
@@ -188,6 +189,15 @@ run_fig11_extllc_characterization(const ScenarioOptions &opts)
             table.add_row({std::to_string(w), fmt(p.capacity_kib, 0), fmt(p.latency, 0),
                            fmt(p.bandwidth_gbs, 1), fmt(p.energy_pj_per_byte, 1),
                            fmt(ideal.bandwidth_gbs, 1)});
+            if (opts.report) {
+                ReportEntry &e = opts.report->add_entry(
+                    std::string(ext_storage_name(kind)) + "/" + std::to_string(w) + "w");
+                e.set("capacity_kib", p.capacity_kib);
+                e.set("latency", p.latency);
+                e.set("bandwidth_gbs", p.bandwidth_gbs);
+                e.set("energy_pj_per_byte", p.energy_pj_per_byte);
+                e.set("bandwidth_no_noc_gbs", ideal.bandwidth_gbs);
+            }
         }
         emit.table(std::string("Figure 11: ") + ext_storage_name(kind), table);
     }

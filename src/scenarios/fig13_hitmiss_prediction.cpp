@@ -28,12 +28,14 @@ run_fig13_hitmiss_prediction(const ScenarioOptions &opts)
     }
 
     SweepEngine engine(opts.jobs);
+    engine.set_report(opts.report);
     for (const AppSpec *app : apps) {
         engine.add(make_system(SystemKind::kBL, *app), app->params,
                    app->params.name + "/BL");
         for (PredictionMode mode : modes) {
             engine.add(make_morpheus_system(*app, app->morpheus_basic_sms, false, false, mode),
-                       app->params, app->params.name);
+                       app->params,
+                       app->params.name + "/" + prediction_mode_name(mode));
         }
     }
     const auto results = engine.run_all();

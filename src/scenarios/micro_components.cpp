@@ -19,6 +19,7 @@
 #include "cache/bdi.hpp"
 #include "cache/bloom_filter.hpp"
 #include "cache/set_assoc_cache.hpp"
+#include "harness/report.hpp"
 #include "harness/sweep_engine.hpp"
 #include "harness/table.hpp"
 #include "morpheus/extended_llc_kernel.hpp"
@@ -227,9 +228,16 @@ run_micro_components(const ScenarioOptions &opts)
     const auto results = pool.run_all();
 
     Table table({"component", "iterations", "ns/op"});
+    if (opts.report)
+        opts.report->set_deterministic(false); // wall-clock timings
     for (const auto &r : results) {
         table.add_row({r.label, std::to_string(r.value.iterations),
                        fmt(r.value.ns_per_op, 1)});
+        if (opts.report) {
+            ReportEntry &e = opts.report->add_entry(r.label);
+            e.set("iterations", static_cast<double>(r.value.iterations));
+            e.set("ns_per_op", r.value.ns_per_op);
+        }
     }
 
     ScenarioEmitter emit(opts);

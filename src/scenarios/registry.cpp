@@ -7,6 +7,9 @@ scenario_registry()
 {
     using namespace scenarios;
     static const std::vector<Scenario> kRegistry = {
+        {"bloom_sensitivity",
+         "predictor sizing: Bloom bits/set x hash count vs false-positive rate",
+         run_bloom_sensitivity},
         {"fig01_sm_scaling", "Figure 1: normalized IPC vs compute-SM count, all 17 apps",
          run_fig01_sm_scaling},
         {"fig02_llc_sensitivity", "Figure 2: best IPC with 1x/2x/4x conventional LLC",
@@ -24,6 +27,9 @@ scenario_registry()
          run_fig13_hitmiss_prediction},
         {"micro_components", "microbenchmarks of the simulator's hot components",
          run_micro_components},
+        {"query_depth",
+         "query-logic request-queue depth: occupancy histogram vs candidate sizes",
+         run_query_depth},
         {"sec74_bandwidth_analysis",
          "section 7.4: LLC throughput, NoC load, off-chip bandwidth and MPKI",
          run_sec74_bandwidth_analysis},

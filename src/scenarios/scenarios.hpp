@@ -14,6 +14,7 @@ namespace morpheus::scenarios {
  * lists them explicitly (a static library would silently drop
  * self-registering translation units).
  */
+int run_bloom_sensitivity(const ScenarioOptions &opts);
 int run_fig01_sm_scaling(const ScenarioOptions &opts);
 int run_fig02_llc_sensitivity(const ScenarioOptions &opts);
 int run_fig05_latency_timeline(const ScenarioOptions &opts);
@@ -21,6 +22,7 @@ int run_fig11_extllc_characterization(const ScenarioOptions &opts);
 int run_fig12_performance(const ScenarioOptions &opts);
 int run_fig13_hitmiss_prediction(const ScenarioOptions &opts);
 int run_micro_components(const ScenarioOptions &opts);
+int run_query_depth(const ScenarioOptions &opts);
 int run_sec74_bandwidth_analysis(const ScenarioOptions &opts);
 int run_sec75_overheads(const ScenarioOptions &opts);
 int run_tab03_core_counts(const ScenarioOptions &opts);

@@ -32,9 +32,12 @@ run_sec74_bandwidth_analysis(const ScenarioOptions &opts)
     }
 
     SweepEngine engine(opts.jobs);
+    engine.set_report(opts.report);
     for (const AppSpec *app : apps) {
-        for (SystemKind kind : kinds)
-            engine.add(make_system(kind, *app), app->params, app->params.name);
+        for (SystemKind kind : kinds) {
+            engine.add(make_system(kind, *app), app->params,
+                       app->params.name + "/" + system_name(kind));
+        }
     }
     const auto results = engine.run_all();
 

@@ -76,16 +76,18 @@ run_tab03_core_counts(const ScenarioOptions &opts)
     // Three search grids per memory-bound app: plain (IBL), Morpheus
     // without features (Basic), Morpheus with both features (ALL).
     SweepEngine engine(opts.jobs);
+    engine.set_report(opts.report);
     for (const AppSpec *app : apps) {
         for (auto n : kGrid)
-            engine.add(setup_with_sms(n), app->params, app->params.name + "/ibl");
+            engine.add(setup_with_sms(n), app->params,
+                       app->params.name + "/ibl/" + std::to_string(n));
         for (auto n : kGrid) {
             engine.add(make_morpheus_system(*app, n, false, false, PredictionMode::kBloom),
-                       app->params, app->params.name + "/basic");
+                       app->params, app->params.name + "/basic/" + std::to_string(n));
         }
         for (auto n : kGrid) {
             engine.add(make_morpheus_system(*app, n, true, true, PredictionMode::kBloom),
-                       app->params, app->params.name + "/all");
+                       app->params, app->params.name + "/all/" + std::to_string(n));
         }
     }
     const auto results = engine.run_all();

@@ -3,12 +3,7 @@
 #include <cstdlib>
 
 namespace morpheus {
-namespace {
 
-constexpr std::uint64_t kKiB = 1024;
-constexpr std::uint64_t kMiB = 1024 * 1024;
-
-/** Applies the MORPHEUS_WORK_SCALE env multiplier to instruction budgets. */
 double
 work_scale()
 {
@@ -19,6 +14,11 @@ work_scale()
     }
     return 1.0;
 }
+
+namespace {
+
+constexpr std::uint64_t kKiB = 1024;
+constexpr std::uint64_t kMiB = 1024 * 1024;
 
 AppSpec
 make(const char *name, bool memory_bound, PatternKind pattern, std::uint32_t alu,

@@ -31,6 +31,13 @@ struct AppSpec
  */
 const std::vector<AppSpec> &app_catalog();
 
+/**
+ * The MORPHEUS_WORK_SCALE multiplier in effect (1.0 when unset). Recorded
+ * in every RunReport as comparison context: reports taken at different
+ * scales are never diffed against each other.
+ */
+double work_scale();
+
 /** Looks up an application by its paper name (e.g. "kmeans"). */
 const AppSpec *find_app(std::string_view name);
 

@@ -29,9 +29,36 @@ TEST(QueryLogic, TracksOutstandingAndPeak)
     EXPECT_EQ(ql.outstanding(), 3u);
     ql.on_complete(5);
     EXPECT_EQ(ql.outstanding(), 2u);
-    EXPECT_EQ(ql.peak_outstanding(), 3u);
+    // All occupancy stats use one convention: the occupancy each arrival
+    // *observes* (excluding itself). The three arrivals saw 0, 1, 2.
+    EXPECT_EQ(ql.peak_outstanding(), 2u);
     EXPECT_EQ(ql.total_requests(), 3u);
-    EXPECT_GT(ql.depth().mean(), 1.0);
+    EXPECT_DOUBLE_EQ(ql.depth().mean(), 1.0);
+}
+
+TEST(QueryLogic, DepthHistogramAnswersEveryCandidateDepth)
+{
+    QueryLogic ql;
+    // Ramp to 3 outstanding, drain one, add one: observed occupancies
+    // are 0, 1, 2, 2.
+    ql.on_enqueue(0);
+    ql.on_enqueue(1);
+    ql.on_enqueue(2);
+    ql.on_complete(3);
+    ql.on_enqueue(4);
+
+    // overflow_events(D) = arrivals that observed >= D outstanding,
+    // i.e. the stalls a D-entry queue would have caused.
+    EXPECT_EQ(ql.overflow_events(0), 4u);
+    EXPECT_EQ(ql.overflow_events(1), 3u);
+    EXPECT_EQ(ql.overflow_events(2), 2u);
+    EXPECT_EQ(ql.overflow_events(3), 0u);
+    EXPECT_EQ(ql.overflow_events(QueryLogic::kMaxTrackedDepth + 100), 0u);
+
+    const auto &hist = ql.depth_histogram();
+    EXPECT_EQ(hist[0], 1u);
+    EXPECT_EQ(hist[1], 1u);
+    EXPECT_EQ(hist[2], 2u);
 }
 
 TEST(QueryLogic, CompleteNeverUnderflows)

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "gpu/gpu_system.hpp"
+#include "harness/report.hpp"
+#include "harness/sweep_engine.hpp"
+#include "harness/system_config.hpp"
+
+using namespace morpheus;
+
+namespace {
+
+RunReport
+sample_report()
+{
+    RunReport report("unit_test");
+    report.set_work_scale(0.5);
+    report.set_jobs(4);
+    report.set_wall_ms(123.25);
+
+    ReportEntry &a = report.add_entry("kmeans/BL");
+    a.set("cycles", 123456789.0);
+    a.set("ipc", 1.2345678901234567);
+    a.set("tiny", 1e-17);
+    a.set("negative", -42.5);
+
+    ReportEntry &b = report.add_entry("label \"quoted\"\nand newlined");
+    b.set("zero", 0.0);
+    return report;
+}
+
+} // namespace
+
+TEST(RunReport, JsonRoundTripIsExact)
+{
+    const RunReport original = sample_report();
+    RunReport parsed;
+    std::string error;
+    ASSERT_TRUE(RunReport::parse_json(original.to_json(), parsed, error)) << error;
+
+    EXPECT_TRUE(reports_identical(original, parsed));
+    // Environment survives the round trip too (it is just never compared).
+    EXPECT_EQ(parsed.jobs(), 4u);
+    EXPECT_DOUBLE_EQ(parsed.wall_ms(), 123.25);
+    // Doubles are exact, not approximate.
+    ASSERT_NE(parsed.find_entry("kmeans/BL"), nullptr);
+    EXPECT_EQ(*parsed.find_entry("kmeans/BL")->find("ipc"), 1.2345678901234567);
+    EXPECT_EQ(*parsed.find_entry("kmeans/BL")->find("tiny"), 1e-17);
+}
+
+TEST(RunReport, SecondRoundTripIsByteIdentical)
+{
+    // Stability matters: committed baselines must not churn when re-saved.
+    const RunReport original = sample_report();
+    RunReport parsed;
+    std::string error;
+    ASSERT_TRUE(RunReport::parse_json(original.to_json(), parsed, error)) << error;
+    EXPECT_EQ(original.to_json(), parsed.to_json());
+}
+
+TEST(RunReport, DefaultFilename)
+{
+    EXPECT_EQ(RunReport::default_filename("fig12_performance"), "BENCH_fig12_performance.json");
+}
+
+TEST(RunReport, EnvironmentDoesNotAffectIdentity)
+{
+    RunReport a = sample_report();
+    RunReport b = sample_report();
+    b.set_jobs(1);
+    b.set_wall_ms(9999.0);
+    EXPECT_TRUE(reports_identical(a, b));
+}
+
+TEST(RunReport, ContextAffectsIdentity)
+{
+    RunReport a = sample_report();
+    RunReport b = sample_report();
+    b.set_work_scale(1.0);
+    EXPECT_FALSE(reports_identical(a, b));
+
+    RunReport c = sample_report();
+    c.set_deterministic(false);
+    EXPECT_FALSE(reports_identical(a, c));
+}
+
+TEST(RunReport, ParseRejectsMalformedInput)
+{
+    RunReport out;
+    std::string error;
+    EXPECT_FALSE(RunReport::parse_json("", out, error));
+    EXPECT_FALSE(RunReport::parse_json("not json", out, error));
+    EXPECT_FALSE(RunReport::parse_json("[1, 2]", out, error));
+    EXPECT_FALSE(RunReport::parse_json("{\"scenario\": \"x\"}", out, error)); // no version
+    EXPECT_FALSE(RunReport::parse_json("{\"schema_version\": 1}", out, error)); // no scenario
+    EXPECT_FALSE(RunReport::parse_json(
+        "{\"schema_version\": 1, \"scenario\": \"x\", \"entries\": [{\"label\": \"a\"}]}", out,
+        error)); // entry without metrics
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(RunReport, ParseIgnoresUnknownKeys)
+{
+    RunReport out;
+    std::string error;
+    const char *text =
+        "{\"schema_version\": 1, \"scenario\": \"x\", \"future_field\": {\"a\": [1, 2]},"
+        " \"entries\": [{\"label\": \"j\", \"metrics\": {\"m\": 3.5}, \"notes\": \"hi\"}]}";
+    ASSERT_TRUE(RunReport::parse_json(text, out, error)) << error;
+    ASSERT_EQ(out.entries().size(), 1u);
+    EXPECT_EQ(*out.entries()[0].find("m"), 3.5);
+}
+
+TEST(RunReport, AddRunExtractsTheStandardMetricSet)
+{
+    RunResult r;
+    r.cycles = 1000;
+    r.instructions = 4000;
+    r.ipc = 4.0;
+    r.l1_hits = 75;
+    r.l1_misses = 25;
+    r.ext_requests = 10;
+    r.ext_hits = 7;
+    r.avg_watts = 123.5;
+
+    RunReport report("x");
+    report.add_run("job", r);
+    ASSERT_EQ(report.entries().size(), 1u);
+    const ReportEntry &e = report.entries()[0];
+    EXPECT_EQ(*e.find("cycles"), 1000.0);
+    EXPECT_EQ(*e.find("ipc"), 4.0);
+    EXPECT_EQ(*e.find("l1_hit_rate"), 0.75);
+    EXPECT_EQ(*e.find("ext_hit_rate"), 0.7);
+    EXPECT_EQ(*e.find("avg_watts"), 123.5);
+    EXPECT_EQ(e.find("no_such_metric"), nullptr);
+}
+
+TEST(RunReport, SaveAndLoadFile)
+{
+    const RunReport original = sample_report();
+    const std::string path = testing::TempDir() + "morpheus_report_test.json";
+    std::string error;
+    ASSERT_TRUE(original.save_file(path, error)) << error;
+
+    RunReport loaded;
+    ASSERT_TRUE(RunReport::load_file(path, loaded, error)) << error;
+    EXPECT_TRUE(reports_identical(original, loaded));
+    std::remove(path.c_str());
+
+    EXPECT_FALSE(RunReport::load_file("/nonexistent/dir/nope.json", loaded, error));
+}
+
+TEST(RunReport, SweepEngineRecordsEveryJobInSubmissionOrder)
+{
+    WorkloadParams params;
+    params.name = "report-test";
+    params.total_mem_instrs = 500;
+    SystemSetup setup;
+    setup.compute_sms = 2;
+
+    RunReport report("sweep");
+    SweepEngine engine(2);
+    engine.set_report(&report);
+    engine.add(setup, params, "first");
+    engine.add(setup, params, "second");
+    const auto results = engine.run_all();
+
+    ASSERT_EQ(report.entries().size(), 2u);
+    EXPECT_EQ(report.entries()[0].label, "first");
+    EXPECT_EQ(report.entries()[1].label, "second");
+    EXPECT_EQ(*report.entries()[0].find("cycles"),
+              static_cast<double>(results[0].value.cycles));
+}
+
+TEST(RunReport, ReportContentIdenticalForAnyWorkerCount)
+{
+    // The determinism contract behind committed baselines: --jobs 1 and
+    // --jobs N runs of the same sweep must produce identical reports.
+    WorkloadParams params;
+    params.name = "determinism";
+    params.total_mem_instrs = 2000;
+    params.per_warp_ws_bytes = 64 * 1024;
+    params.write_frac = 0.25;
+
+    auto run_with = [&](unsigned jobs) {
+        RunReport report("determinism");
+        SweepEngine engine(jobs);
+        engine.set_report(&report);
+        for (std::uint32_t sms : {4u, 8u}) {
+            SystemSetup setup;
+            setup.compute_sms = sms;
+            engine.add(setup, params, "bl-" + std::to_string(sms));
+        }
+        for (std::uint32_t cache : {2u, 4u}) {
+            SystemSetup setup;
+            setup.compute_sms = 4;
+            setup.morpheus.enabled = true;
+            setup.morpheus.cache_sms = cache;
+            engine.add(setup, params, "morpheus-" + std::to_string(cache));
+        }
+        engine.run_all();
+        return report;
+    };
+
+    const RunReport serial = run_with(1);
+    for (unsigned jobs : {2u, 4u, 8u}) {
+        const RunReport parallel = run_with(jobs);
+        EXPECT_TRUE(reports_identical(serial, parallel)) << jobs << " workers diverged";
+    }
+}

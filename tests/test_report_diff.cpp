@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "harness/report.hpp"
+
+using namespace morpheus;
+
+namespace {
+
+/** A two-entry report with round numbers for tolerance math. */
+RunReport
+base_report()
+{
+    RunReport report("diff_test");
+    ReportEntry &a = report.add_entry("app/BL");
+    a.set("cycles", 1000.0);
+    a.set("ipc", 2.0);
+    ReportEntry &b = report.add_entry("app/ALL");
+    b.set("cycles", 500.0);
+    b.set("ipc", 4.0);
+    return report;
+}
+
+bool
+has_kind(const DiffResult &result, DiffFinding::Kind kind)
+{
+    for (const auto &f : result.findings) {
+        if (f.kind == kind)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+TEST(ReportDiff, IdenticalReportsPass)
+{
+    const RunReport a = base_report();
+    const DiffResult result = diff_reports(a, a);
+    EXPECT_TRUE(result.ok());
+    EXPECT_EQ(result.entries_compared, 2u);
+    EXPECT_EQ(result.metrics_compared, 4u);
+}
+
+TEST(ReportDiff, RelativeToleranceBoundary)
+{
+    DiffOptions opts;
+    opts.rel_tol = 0.02;
+    opts.abs_tol = 0;
+
+    const RunReport baseline = base_report();
+
+    // +2% of max(|a|,|b|): 1020 vs 1000 -> tol = 0.02 * 1020 = 20.4 >= 20.
+    RunReport inside = base_report();
+    const_cast<ReportEntry &>(inside.entries()[0]).set("cycles", 1020.0);
+    EXPECT_TRUE(diff_reports(baseline, inside, opts).ok());
+
+    // 1030 vs 1000 -> delta 30 > tol 20.6: regression.
+    RunReport outside = base_report();
+    const_cast<ReportEntry &>(outside.entries()[0]).set("cycles", 1030.0);
+    const DiffResult result = diff_reports(baseline, outside, opts);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.findings.size(), 1u);
+    EXPECT_EQ(result.findings[0].kind, DiffFinding::Kind::kValue);
+    EXPECT_EQ(result.findings[0].label, "app/BL");
+    EXPECT_EQ(result.findings[0].metric, "cycles");
+    EXPECT_EQ(result.findings[0].baseline, 1000.0);
+    EXPECT_EQ(result.findings[0].candidate, 1030.0);
+}
+
+TEST(ReportDiff, AbsoluteToleranceCoversZeroBaselines)
+{
+    DiffOptions opts;
+    opts.rel_tol = 0; // relative tolerance is useless around zero
+    opts.abs_tol = 1e-6;
+
+    RunReport baseline("zeros");
+    baseline.add_entry("e").set("m", 0.0);
+
+    RunReport inside("zeros");
+    inside.add_entry("e").set("m", 5e-7);
+    EXPECT_TRUE(diff_reports(baseline, inside, opts).ok());
+
+    RunReport outside("zeros");
+    outside.add_entry("e").set("m", 2e-6);
+    EXPECT_FALSE(diff_reports(baseline, outside, opts).ok());
+}
+
+TEST(ReportDiff, PerMetricToleranceOverride)
+{
+    DiffOptions opts;
+    opts.rel_tol = 0.01;
+    opts.abs_tol = 0;
+    opts.metric_rel_tol.emplace_back("ipc", 0.5);
+
+    // ipc moves 25% (allowed by the override), cycles stays put.
+    RunReport candidate = base_report();
+    const_cast<ReportEntry &>(candidate.entries()[1]).set("ipc", 5.0);
+    EXPECT_TRUE(diff_reports(base_report(), candidate, opts).ok());
+
+    // The same 25% move on cycles trips the default tolerance.
+    RunReport candidate2 = base_report();
+    const_cast<ReportEntry &>(candidate2.entries()[1]).set("cycles", 625.0);
+    EXPECT_FALSE(diff_reports(base_report(), candidate2, opts).ok());
+}
+
+TEST(ReportDiff, MissingAndExtraEntriesAreFindings)
+{
+    RunReport shorter("diff_test");
+    shorter.add_entry("app/BL").set("cycles", 1000.0);
+    const_cast<ReportEntry &>(shorter.entries()[0]).set("ipc", 2.0);
+
+    const DiffResult missing = diff_reports(base_report(), shorter);
+    EXPECT_FALSE(missing.ok());
+    EXPECT_TRUE(has_kind(missing, DiffFinding::Kind::kMissingEntry));
+
+    const DiffResult extra = diff_reports(shorter, base_report());
+    EXPECT_FALSE(extra.ok());
+    EXPECT_TRUE(has_kind(extra, DiffFinding::Kind::kExtraEntry));
+}
+
+TEST(ReportDiff, ChangedLabelIsAFinding)
+{
+    RunReport renamed = base_report();
+    const_cast<ReportEntry &>(renamed.entries()[1]).label = "app/RENAMED";
+    const DiffResult result = diff_reports(base_report(), renamed);
+    EXPECT_FALSE(result.ok());
+    EXPECT_TRUE(has_kind(result, DiffFinding::Kind::kMissingEntry));
+}
+
+TEST(ReportDiff, MissingMetricIsAFinding)
+{
+    RunReport baseline = base_report();
+    const_cast<ReportEntry &>(baseline.entries()[0]).set("extra_metric", 7.0);
+    const DiffResult result = diff_reports(baseline, base_report());
+    EXPECT_FALSE(result.ok());
+    EXPECT_TRUE(has_kind(result, DiffFinding::Kind::kMissingMetric));
+
+    // The reverse direction — candidate has metrics the baseline lacks —
+    // is a compatible addition, not a finding.
+    EXPECT_TRUE(diff_reports(base_report(), baseline).ok());
+}
+
+TEST(ReportDiff, ContextMismatchShortCircuits)
+{
+    RunReport other = base_report();
+    other.set_scenario("different_scenario");
+    DiffResult result = diff_reports(base_report(), other);
+    ASSERT_FALSE(result.ok());
+    EXPECT_TRUE(has_kind(result, DiffFinding::Kind::kContext));
+    EXPECT_EQ(result.entries_compared, 0u);
+
+    RunReport scaled = base_report();
+    scaled.set_work_scale(0.02);
+    EXPECT_TRUE(has_kind(diff_reports(base_report(), scaled), DiffFinding::Kind::kContext));
+
+    RunReport nondet = base_report();
+    nondet.set_deterministic(false);
+    EXPECT_TRUE(has_kind(diff_reports(base_report(), nondet), DiffFinding::Kind::kContext));
+}
+
+TEST(ReportDiff, NonDeterministicReportsCompareStructureOnly)
+{
+    RunReport baseline = base_report();
+    baseline.set_deterministic(false);
+
+    // Wildly different values: fine, wall-clock numbers are not gated.
+    RunReport candidate = base_report();
+    candidate.set_deterministic(false);
+    const_cast<ReportEntry &>(candidate.entries()[0]).set("cycles", 999999.0);
+    EXPECT_TRUE(diff_reports(baseline, candidate).ok());
+
+    // But a vanished metric is still structural breakage.
+    RunReport renamed("diff_test");
+    renamed.set_deterministic(false);
+    renamed.add_entry("app/BL").set("cycles", 1000.0);
+    const_cast<ReportEntry &>(renamed.entries()[0]).set("renamed_ipc", 2.0);
+    renamed.add_entry("app/ALL").set("cycles", 500.0);
+    const_cast<ReportEntry &>(renamed.entries()[1]).set("ipc", 4.0);
+    EXPECT_FALSE(diff_reports(baseline, renamed).ok());
+}
+
+TEST(ReportDiff, SurvivesJsonRoundTrip)
+{
+    // The gate's real path: both sides parsed from disk bytes.
+    RunReport perturbed = base_report();
+    const_cast<ReportEntry &>(perturbed.entries()[0]).set("cycles", 1500.0);
+
+    RunReport baseline_rt;
+    RunReport perturbed_rt;
+    std::string error;
+    ASSERT_TRUE(RunReport::parse_json(base_report().to_json(), baseline_rt, error)) << error;
+    ASSERT_TRUE(RunReport::parse_json(perturbed.to_json(), perturbed_rt, error)) << error;
+
+    EXPECT_TRUE(diff_reports(baseline_rt, baseline_rt).ok());
+    EXPECT_FALSE(diff_reports(baseline_rt, perturbed_rt).ok());
+}
