@@ -1,0 +1,13 @@
+/**
+ * @file
+ * Driver stub for the "fig08_rf_layout" scenario (see src/scenarios/). Runs
+ * the same sweep as `morpheus_cli --scenario fig08_rf_layout`; accepts
+ * --jobs N, --format text|csv|json, and --output FILE.
+ */
+#include "harness/scenario.hpp"
+
+int
+main(int argc, char **argv)
+{
+    return morpheus::scenario_main("fig08_rf_layout", argc, argv);
+}

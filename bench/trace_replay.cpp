@@ -1,0 +1,14 @@
+/**
+ * @file
+ * Driver stub for the "trace_replay" scenario (see src/scenarios/). Runs the
+ * same replay as `morpheus_cli --scenario trace_replay`; accepts --jobs N,
+ * --format text|csv|json, --trace FILE (a specific .mtrc trace; default is
+ * every trace in bench/traces/), and --output FILE.
+ */
+#include "harness/scenario.hpp"
+
+int
+main(int argc, char **argv)
+{
+    return morpheus::scenario_main("trace_replay", argc, argv);
+}

@@ -7,7 +7,7 @@
  *   morpheus_cli <app> [system] [compute_sms] [cache_sms]
  *   morpheus_cli --list
  *   morpheus_cli --scenario <name> [--jobs N] [--format text|csv|json]
- *                [--output FILE]
+ *                [--trace FILE] [--output FILE]
  *   morpheus_cli --all [--jobs N] [--format text|csv|json]
  *                [--output-dir DIR]
  *
@@ -23,7 +23,8 @@
  * --output persists the run's metrics as a BENCH_<scenario>.json report
  * (docs/REPORT_SCHEMA.md); --all runs every scenario, writing one report
  * per scenario into --output-dir (the regression-gate input for
- * morpheus_bench_diff).
+ * morpheus_bench_diff). --trace points the trace_replay scenario at a
+ * specific .mtrc file (docs/TRACE_FORMAT.md; default: bench/traces/).
  *
  * Examples:
  *   morpheus_cli kmeans                 # kmeans on Morpheus-ALL
@@ -85,7 +86,7 @@ usage()
                  "LARGER] [compute_sms cache_sms]\n"
                  "       morpheus_cli --list\n"
                  "       morpheus_cli --scenario <name> [--jobs N] [--format text|csv|json]"
-                 " [--output FILE]\n"
+                 " [--trace FILE] [--output FILE]\n"
                  "       morpheus_cli --all [--jobs N] [--format text|csv|json]"
                  " [--output-dir DIR]\n"
                  "apps:");

@@ -5,11 +5,17 @@
 namespace morpheus {
 
 RunResult
+run_workload(const SystemSetup &setup, Workload &workload)
+{
+    GpuSystem system(setup, workload);
+    return system.run();
+}
+
+RunResult
 run_setup(const SystemSetup &setup, const WorkloadParams &params)
 {
     SyntheticWorkload workload(params);
-    GpuSystem system(setup, workload);
-    return system.run();
+    return run_workload(setup, workload);
 }
 
 RunResult

@@ -142,10 +142,14 @@ parse_scenario_flags(int argc, char **argv, const char *path_flag, ScenarioOptio
                 std::fprintf(stderr, "unknown format '%s' (text|csv|json)\n", argv[i]);
                 return false;
             }
+        } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+            opts.trace_path = argv[++i];
         } else if (std::strcmp(argv[i], path_flag) == 0 && i + 1 < argc) {
             path = argv[++i];
         } else {
-            std::fprintf(stderr, "usage: %s [--jobs N] [--format text|csv|json] [%s PATH]\n",
+            std::fprintf(stderr,
+                         "usage: %s [--jobs N] [--format text|csv|json] [--trace FILE] "
+                         "[%s PATH]\n",
                          argv[0], path_flag);
             return false;
         }

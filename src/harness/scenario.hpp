@@ -22,6 +22,12 @@ struct ScenarioOptions
     /** When non-null, the scenario records every job's metrics here
      *  (persisted as BENCH_<scenario>.json; see harness/report.hpp). */
     RunReport *report = nullptr;
+    /**
+     * `.mtrc` trace to replay (`--trace FILE`; trace_replay scenario).
+     * Empty means the scenario's default: every trace in
+     * $MORPHEUS_TRACE_DIR, ./bench/traces, or ../bench/traces.
+     */
+    std::string trace_path;
 };
 
 /** One runnable experiment (a paper figure/table or an example sweep). */
@@ -43,7 +49,8 @@ void list_scenarios(std::ostream &os);
 
 /**
  * Entry point shared by the bench driver stubs: parses `--jobs N`,
- * `--format text|csv|json`, and `--output FILE` (write a
+ * `--format text|csv|json`, `--trace FILE` (replay a specific `.mtrc`
+ * trace; see docs/TRACE_FORMAT.md), and `--output FILE` (write a
  * BENCH_<scenario>.json report; see docs/REPORT_SCHEMA.md), then runs
  * scenario @p name.
  */

@@ -16,6 +16,9 @@ scenario_registry()
          run_fig02_llc_sensitivity},
         {"fig05_latency_timeline", "Figure 5: unloaded hit/miss/predicted-miss latencies",
          run_fig05_latency_timeline},
+        {"fig08_rf_layout",
+         "Figure 8: extended-LLC register-file layout vs kernel warp count",
+         run_fig08_rf_layout},
         {"fig11_extllc_characterization",
          "Figure 11: extended-LLC capacity/latency/bandwidth/energy vs warps",
          run_fig11_extllc_characterization},
@@ -37,6 +40,9 @@ scenario_registry()
          run_sec75_overheads},
         {"tab03_core_counts", "Table 3: offline search for the best compute-SM counts",
          run_tab03_core_counts},
+        {"trace_replay",
+         "trace-driven replay: recorded .mtrc kernels through the full harness",
+         run_trace_replay},
         {"kmeans_capacity_sweep",
          "capacity-planning example: compute/cache split sweep for kmeans",
          run_kmeans_capacity_sweep},

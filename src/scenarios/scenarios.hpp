@@ -17,6 +17,7 @@ namespace morpheus::scenarios {
 int run_bloom_sensitivity(const ScenarioOptions &opts);
 int run_fig01_sm_scaling(const ScenarioOptions &opts);
 int run_fig02_llc_sensitivity(const ScenarioOptions &opts);
+int run_fig08_rf_layout(const ScenarioOptions &opts);
 int run_fig05_latency_timeline(const ScenarioOptions &opts);
 int run_fig11_extllc_characterization(const ScenarioOptions &opts);
 int run_fig12_performance(const ScenarioOptions &opts);
@@ -26,6 +27,7 @@ int run_query_depth(const ScenarioOptions &opts);
 int run_sec74_bandwidth_analysis(const ScenarioOptions &opts);
 int run_sec75_overheads(const ScenarioOptions &opts);
 int run_tab03_core_counts(const ScenarioOptions &opts);
+int run_trace_replay(const ScenarioOptions &opts);
 int run_kmeans_capacity_sweep(const ScenarioOptions &opts);
 
 } // namespace morpheus::scenarios

@@ -1,0 +1,516 @@
+#include "workloads/trace/trace_format.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <unordered_set>
+
+namespace morpheus::trace {
+namespace {
+
+/** Hard ceilings rejected as "impossible" before any allocation
+ *  (kMaxTraceSms/kMaxTraceWarpsPerSm/kMaxTraceRecords live in the
+ *  header, shared with the encoder and tools). */
+constexpr std::uint64_t kMaxNameBytes = 4096;
+/** RLE expands at most 65x (a 2-byte run packet yields up to 130 bytes). */
+constexpr std::uint64_t kMaxRleExpansion = 65;
+/** Minimum encoded record: packed byte + alu varint + pc varint. */
+constexpr std::uint64_t kMinRecordBytes = 3;
+
+void
+put_u64_le(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+bool
+get_u64_le(const std::uint8_t *&p, const std::uint8_t *end, std::uint64_t &out)
+{
+    if (end - p < 8)
+        return false;
+    out = 0;
+    for (int i = 0; i < 8; ++i)
+        out |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    p += 8;
+    return true;
+}
+
+std::uint64_t
+double_bits(double d)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    return bits;
+}
+
+double
+bits_double(std::uint64_t bits)
+{
+    double d;
+    std::memcpy(&d, &bits, sizeof(d));
+    return d;
+}
+
+bool
+fail(std::string &error, const char *what)
+{
+    error = what;
+    return false;
+}
+
+} // namespace
+
+bool
+operator==(const TraceStep &a, const TraceStep &b)
+{
+    if (a.pc != b.pc || a.alu_instrs != b.alu_instrs || a.num_lines != b.num_lines ||
+        a.type != b.type || a.footprint != b.footprint)
+        return false;
+    for (std::uint32_t i = 0; i < a.num_lines; ++i) {
+        if (a.lines[i] != b.lines[i])
+            return false;
+    }
+    return true;
+}
+
+void
+put_varint(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    out.push_back(static_cast<std::uint8_t>(v));
+}
+
+bool
+get_varint(const std::uint8_t *&p, const std::uint8_t *end, std::uint64_t &out)
+{
+    out = 0;
+    for (unsigned shift = 0; shift < 64; shift += 7) {
+        if (p == end)
+            return false;
+        const std::uint8_t byte = *p++;
+        // The 10th byte may only carry the top bit of a 64-bit value.
+        if (shift == 63 && (byte & ~1u))
+            return false;
+        out |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+        if (!(byte & 0x80))
+            return true;
+    }
+    return false;
+}
+
+std::uint64_t
+zigzag_encode(std::int64_t v)
+{
+    const std::uint64_t u = static_cast<std::uint64_t>(v);
+    return (u << 1) ^ (0 - (u >> 63));
+}
+
+std::int64_t
+zigzag_decode(std::uint64_t v)
+{
+    return static_cast<std::int64_t>((v >> 1) ^ (0 - (v & 1)));
+}
+
+std::vector<std::uint8_t>
+rle_compress(const std::vector<std::uint8_t> &in)
+{
+    std::vector<std::uint8_t> out;
+    std::size_t i = 0;
+    std::size_t literal_begin = 0;
+
+    auto flush_literals = [&](std::size_t until) {
+        std::size_t n = until - literal_begin;
+        while (n > 0) {
+            const std::size_t chunk = std::min<std::size_t>(n, 128);
+            out.push_back(static_cast<std::uint8_t>(chunk - 1));
+            out.insert(out.end(), in.begin() + static_cast<std::ptrdiff_t>(literal_begin),
+                       in.begin() + static_cast<std::ptrdiff_t>(literal_begin + chunk));
+            literal_begin += chunk;
+            n -= chunk;
+        }
+    };
+
+    while (i < in.size()) {
+        std::size_t run = 1;
+        while (i + run < in.size() && in[i + run] == in[i] && run < 130)
+            ++run;
+        if (run >= 3) {
+            flush_literals(i);
+            out.push_back(static_cast<std::uint8_t>(0x80 + (run - 3)));
+            out.push_back(in[i]);
+            i += run;
+            literal_begin = i;
+        } else {
+            i += run;
+        }
+    }
+    flush_literals(in.size());
+    return out;
+}
+
+bool
+rle_decompress(const std::uint8_t *in, std::size_t in_size, std::size_t decoded_size,
+               std::vector<std::uint8_t> &out, std::string &error)
+{
+    out.clear();
+    out.reserve(decoded_size);
+    const std::uint8_t *p = in;
+    const std::uint8_t *end = in + in_size;
+    while (p != end) {
+        const std::uint8_t control = *p++;
+        if (control < 0x80) {
+            const std::size_t n = static_cast<std::size_t>(control) + 1;
+            if (static_cast<std::size_t>(end - p) < n)
+                return fail(error, "RLE literal run past end of payload");
+            if (out.size() + n > decoded_size)
+                return fail(error, "RLE output exceeds declared decoded size");
+            out.insert(out.end(), p, p + n);
+            p += n;
+        } else {
+            if (p == end)
+                return fail(error, "RLE run missing value byte");
+            const std::size_t n = static_cast<std::size_t>(control - 0x80) + 3;
+            if (out.size() + n > decoded_size)
+                return fail(error, "RLE output exceeds declared decoded size");
+            out.insert(out.end(), n, *p++);
+        }
+    }
+    if (out.size() != decoded_size)
+        return fail(error, "RLE output shorter than declared decoded size");
+    return true;
+}
+
+std::uint64_t
+Trace::total_records() const
+{
+    std::uint64_t n = 0;
+    for (const auto &s : streams)
+        n += s.steps.size();
+    return n;
+}
+
+TraceStats
+Trace::stats() const
+{
+    TraceStats st;
+    std::unordered_set<LineAddr> unique;
+    for (const auto &stream : streams) {
+        for (const auto &step : stream.steps) {
+            ++st.records;
+            st.alu_instrs += step.alu_instrs;
+            if (step.num_lines == 0)
+                continue;
+            ++st.mem_records;
+            st.lines += step.num_lines;
+            switch (step.type) {
+              case AccessType::kRead:
+                ++st.reads;
+                break;
+              case AccessType::kWrite:
+                ++st.writes;
+                break;
+              case AccessType::kAtomic:
+                ++st.atomics;
+                break;
+            }
+            st.class_counts[step.footprint & 3]++;
+            for (std::uint32_t i = 0; i < step.num_lines; ++i)
+                unique.insert(step.lines[i]);
+        }
+    }
+    st.unique_lines = unique.size();
+    st.footprint_bytes = st.unique_lines * kLineBytes;
+    return st;
+}
+
+std::vector<std::uint8_t>
+Trace::encode() const
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(64 + 4 * total_records());
+    for (std::uint8_t b : kMagic)
+        out.push_back(b);
+    out.push_back(kFormatVersion);
+    std::uint8_t flags = 0;
+    if (has_profile)
+        flags |= kFlagHasProfile;
+    if (rle)
+        flags |= kFlagRle;
+    out.push_back(flags);
+    put_varint(out, num_sms);
+    put_varint(out, warps_per_sm);
+    put_varint(out, kLineBytes);
+    put_varint(out, name.size());
+    out.insert(out.end(), name.begin(), name.end());
+    if (has_profile) {
+        put_u64_le(out, double_bits(profile.high_frac));
+        put_u64_le(out, double_bits(profile.low_frac));
+        put_u64_le(out, profile.seed);
+    }
+
+    put_varint(out, streams.size());
+    std::vector<std::uint8_t> payload;
+    for (const auto &stream : streams) {
+        payload.clear();
+        std::uint64_t prev_pc = 0;
+        LineAddr prev_line = 0;
+        for (const auto &step : stream.steps) {
+            const std::uint8_t packed =
+                static_cast<std::uint8_t>(static_cast<std::uint8_t>(step.type) |
+                                          ((step.num_lines & 0xF) << 2) |
+                                          ((step.footprint & 3) << 6));
+            payload.push_back(packed);
+            put_varint(payload, step.alu_instrs);
+            put_varint(payload, zigzag_encode(static_cast<std::int64_t>(step.pc - prev_pc)));
+            prev_pc = step.pc;
+            for (std::uint32_t i = 0; i < step.num_lines; ++i) {
+                const LineAddr base = i == 0 ? prev_line : step.lines[i - 1];
+                put_varint(payload,
+                           zigzag_encode(static_cast<std::int64_t>(step.lines[i] - base)));
+            }
+            if (step.num_lines > 0)
+                prev_line = step.lines[step.num_lines - 1];
+        }
+
+        put_varint(out, stream.sm);
+        put_varint(out, stream.warp);
+        put_varint(out, stream.steps.size());
+        put_varint(out, payload.size());
+        if (rle) {
+            const std::vector<std::uint8_t> packed_payload = rle_compress(payload);
+            put_varint(out, packed_payload.size());
+            out.insert(out.end(), packed_payload.begin(), packed_payload.end());
+        } else {
+            put_varint(out, payload.size());
+            out.insert(out.end(), payload.begin(), payload.end());
+        }
+    }
+    return out;
+}
+
+bool
+Trace::decode(const std::uint8_t *data, std::size_t size, Trace &out, std::string &error)
+{
+    out = Trace{};
+    out.streams.clear();
+    const std::uint8_t *p = data;
+    const std::uint8_t *end = data + size;
+
+    if (size < 6 || std::memcmp(p, kMagic, 4) != 0)
+        return fail(error, "not an .mtrc file (bad magic)");
+    p += 4;
+    if (*p++ != kFormatVersion)
+        return fail(error, "unsupported .mtrc version");
+    const std::uint8_t flags = *p++;
+    if (flags & ~(kFlagHasProfile | kFlagRle))
+        return fail(error, "unknown header flags");
+    out.has_profile = flags & kFlagHasProfile;
+    out.rle = flags & kFlagRle;
+
+    std::uint64_t num_sms = 0;
+    std::uint64_t warps_per_sm = 0;
+    std::uint64_t line_bytes = 0;
+    std::uint64_t name_len = 0;
+    if (!get_varint(p, end, num_sms) || !get_varint(p, end, warps_per_sm) ||
+        !get_varint(p, end, line_bytes) || !get_varint(p, end, name_len))
+        return fail(error, "truncated header");
+    if (num_sms == 0 || num_sms > kMaxTraceSms)
+        return fail(error, "impossible SM count");
+    if (warps_per_sm == 0 || warps_per_sm > kMaxTraceWarpsPerSm)
+        return fail(error, "impossible warps-per-SM count");
+    if (line_bytes != kLineBytes)
+        return fail(error, "line size mismatch (v1 requires 128-byte lines)");
+    if (name_len > kMaxNameBytes || name_len > static_cast<std::uint64_t>(end - p))
+        return fail(error, "impossible name length");
+    out.num_sms = static_cast<std::uint32_t>(num_sms);
+    out.warps_per_sm = static_cast<std::uint32_t>(warps_per_sm);
+    out.name.assign(reinterpret_cast<const char *>(p), name_len);
+    p += name_len;
+
+    if (out.has_profile) {
+        std::uint64_t high_bits = 0;
+        std::uint64_t low_bits = 0;
+        std::uint64_t seed = 0;
+        if (!get_u64_le(p, end, high_bits) || !get_u64_le(p, end, low_bits) ||
+            !get_u64_le(p, end, seed))
+            return fail(error, "truncated block profile");
+        out.profile.high_frac = bits_double(high_bits);
+        out.profile.low_frac = bits_double(low_bits);
+        out.profile.seed = seed;
+        if (!std::isfinite(out.profile.high_frac) || !std::isfinite(out.profile.low_frac) ||
+            out.profile.high_frac < 0 || out.profile.low_frac < 0 ||
+            out.profile.high_frac + out.profile.low_frac > 1.0)
+            return fail(error, "invalid block profile fractions");
+    }
+
+    std::uint64_t stream_count = 0;
+    if (!get_varint(p, end, stream_count))
+        return fail(error, "truncated stream count");
+    if (stream_count > num_sms * warps_per_sm)
+        return fail(error, "impossible stream count");
+
+    std::unordered_set<std::uint64_t> seen_slots;
+    std::vector<std::uint8_t> payload;
+    std::uint64_t records_so_far = 0;
+    for (std::uint64_t s = 0; s < stream_count; ++s) {
+        std::uint64_t sm = 0;
+        std::uint64_t warp = 0;
+        std::uint64_t record_count = 0;
+        std::uint64_t decoded_bytes = 0;
+        std::uint64_t stored_bytes = 0;
+        if (!get_varint(p, end, sm) || !get_varint(p, end, warp) ||
+            !get_varint(p, end, record_count) || !get_varint(p, end, decoded_bytes) ||
+            !get_varint(p, end, stored_bytes))
+            return fail(error, "truncated stream header");
+        if (sm >= num_sms || warp >= warps_per_sm)
+            return fail(error, "stream (sm, warp) out of range");
+        if (!seen_slots.insert(sm * kMaxTraceWarpsPerSm + warp).second)
+            return fail(error, "duplicate (sm, warp) stream");
+        if (stored_bytes > static_cast<std::uint64_t>(end - p))
+            return fail(error, "stream payload past end of file");
+        if (out.rle) {
+            if (decoded_bytes > stored_bytes * kMaxRleExpansion)
+                return fail(error, "impossible RLE decoded size");
+        } else if (decoded_bytes != stored_bytes) {
+            return fail(error, "decoded/stored size mismatch without RLE");
+        }
+        if (record_count > decoded_bytes / kMinRecordBytes)
+            return fail(error, "impossible record count");
+        // Degenerate 3-byte records under maximal RLE would otherwise let
+        // a small crafted file demand ~2000x its size in TraceStep
+        // storage; the ceiling keeps hostile allocations bounded.
+        records_so_far += record_count;
+        if (records_so_far > kMaxTraceRecords)
+            return fail(error, "impossible record count (exceeds per-file ceiling)");
+
+        const std::uint8_t *stored = p;
+        p += stored_bytes;
+        const std::uint8_t *rp;
+        const std::uint8_t *rend;
+        if (out.rle) {
+            if (!rle_decompress(stored, stored_bytes, decoded_bytes, payload, error))
+                return false;
+            rp = payload.data();
+            rend = payload.data() + payload.size();
+        } else {
+            rp = stored;
+            rend = stored + stored_bytes;
+        }
+
+        TraceStream stream;
+        stream.sm = static_cast<std::uint32_t>(sm);
+        stream.warp = static_cast<std::uint32_t>(warp);
+        std::uint64_t prev_pc = 0;
+        LineAddr prev_line = 0;
+        for (std::uint64_t r = 0; r < record_count; ++r) {
+            if (rp == rend)
+                return fail(error, "record stream shorter than record count");
+            const std::uint8_t packed = *rp++;
+            TraceStep step;
+            const std::uint8_t type = packed & 3;
+            step.num_lines = (packed >> 2) & 0xF;
+            step.footprint = packed >> 6;
+            if (type > static_cast<std::uint8_t>(AccessType::kAtomic))
+                return fail(error, "invalid access type");
+            step.type = static_cast<AccessType>(type);
+            if (step.num_lines > WarpStep::kMaxLinesPerInst)
+                return fail(error, "record exceeds max lines per instruction");
+
+            std::uint64_t alu = 0;
+            std::uint64_t pc_delta = 0;
+            if (!get_varint(rp, rend, alu) || !get_varint(rp, rend, pc_delta))
+                return fail(error, "corrupt record varint");
+            if (alu > UINT32_MAX)
+                return fail(error, "impossible ALU batch size");
+            step.alu_instrs = static_cast<std::uint32_t>(alu);
+            step.pc = prev_pc + static_cast<std::uint64_t>(zigzag_decode(pc_delta));
+            prev_pc = step.pc;
+
+            for (std::uint32_t i = 0; i < step.num_lines; ++i) {
+                std::uint64_t delta = 0;
+                if (!get_varint(rp, rend, delta))
+                    return fail(error, "corrupt line-delta varint");
+                const LineAddr base = i == 0 ? prev_line : step.lines[i - 1];
+                step.lines[i] = base + static_cast<std::uint64_t>(zigzag_decode(delta));
+            }
+            if (step.num_lines > 0)
+                prev_line = step.lines[step.num_lines - 1];
+            stream.steps.push_back(step);
+        }
+        if (rp != rend)
+            return fail(error, "trailing bytes after last record");
+        out.streams.push_back(std::move(stream));
+    }
+
+    if (p != end)
+        return fail(error, "trailing bytes after last stream");
+    return true;
+}
+
+bool
+Trace::save_file(const std::string &path, std::string &error) const
+{
+    // Refuse to write files every decoder would reject.
+    if (num_sms == 0 || num_sms > kMaxTraceSms || warps_per_sm == 0 ||
+        warps_per_sm > kMaxTraceWarpsPerSm || total_records() > kMaxTraceRecords) {
+        error = "trace exceeds .mtrc format ceilings (SMs/warps/records); "
+                "downsample before saving";
+        return false;
+    }
+    const std::vector<std::uint8_t> bytes = encode();
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f) {
+        error = "cannot open '" + path + "' for writing";
+        return false;
+    }
+    const std::size_t written = bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), f);
+    const bool ok = std::fclose(f) == 0 && written == bytes.size();
+    if (!ok)
+        error = "short write to '" + path + "'";
+    return ok;
+}
+
+bool
+Trace::load_file(const std::string &path, Trace &out, std::string &error)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f) {
+        error = "cannot open '" + path + "'";
+        return false;
+    }
+    std::vector<std::uint8_t> bytes;
+    std::uint8_t buf[64 * 1024];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        bytes.insert(bytes.end(), buf, buf + n);
+    const bool read_ok = std::ferror(f) == 0;
+    std::fclose(f);
+    if (!read_ok) {
+        error = "read error on '" + path + "'";
+        return false;
+    }
+    return decode(bytes.data(), bytes.size(), out, error);
+}
+
+void
+downsample_trace(Trace &trace, double keep_frac)
+{
+    // NaN compares false everywhere (std::clamp would return it, and the
+    // float->integer cast below would be UB); treat it as "keep nothing".
+    if (!(keep_frac >= 0.0))
+        keep_frac = 0.0;
+    keep_frac = std::clamp(keep_frac, 0.0, 1.0);
+    for (auto &stream : trace.streams) {
+        const auto keep = static_cast<std::size_t>(
+            std::ceil(static_cast<double>(stream.steps.size()) * keep_frac));
+        if (keep < stream.steps.size())
+            stream.steps.resize(keep);
+    }
+}
+
+} // namespace morpheus::trace

@@ -1,0 +1,166 @@
+#ifndef MORPHEUS_WORKLOADS_TRACE_TRACE_FORMAT_HPP_
+#define MORPHEUS_WORKLOADS_TRACE_TRACE_FORMAT_HPP_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gpu/workload.hpp"
+#include "sim/types.hpp"
+#include "workloads/block_data.hpp"
+
+namespace morpheus::trace {
+
+/**
+ * The `.mtrc` compressed address-trace format (spec: docs/TRACE_FORMAT.md).
+ *
+ * A trace is a header plus one record stream per (sm, warp). Each record
+ * is one warp scheduling step — ALU batch + one coalesced memory
+ * instruction — encoded as a packed flag byte, varints, and zigzag
+ * varint address deltas (addresses are line-granular and delta-encoded
+ * against the warp's previous access, so streaming patterns shrink to
+ * one or two bytes per line). Streams are optionally compressed with a
+ * self-contained byte-level RLE (no zlib dependency).
+ *
+ * The decoder is hardened against corrupt input: every length is
+ * validated against the remaining buffer before any allocation, so a
+ * truncated or bit-flipped file produces an error string, never UB
+ * (tests/test_trace_fuzz.cpp runs it under ASan+UBSan).
+ */
+
+/** File magic ("MTRC") and the current format version. */
+inline constexpr std::uint8_t kMagic[4] = {'M', 'T', 'R', 'C'};
+inline constexpr std::uint8_t kFormatVersion = 1;
+
+/** Header flag bits. */
+inline constexpr std::uint8_t kFlagHasProfile = 0x01;  ///< BlockDataProfile present
+inline constexpr std::uint8_t kFlagRle = 0x02;         ///< stream payloads RLE-compressed
+
+/** @name Hard format ceilings
+ * Shared by the encoder, the decoder, and the tools: values beyond
+ * these are rejected as "impossible" before any allocation, so a small
+ * crafted file cannot demand gigabytes of TraceStep storage (RLE plus
+ * 3-byte minimum records would otherwise amplify input size ~2000x).
+ * Traces larger than kMaxTraceRecords should be downsampled — the
+ * whole trace is held in memory for replay anyway.
+ */
+///@{
+inline constexpr std::uint64_t kMaxTraceSms = 1u << 16;
+inline constexpr std::uint64_t kMaxTraceWarpsPerSm = 1u << 16;
+inline constexpr std::uint64_t kMaxTraceRecords = 1u << 23;  ///< per file
+///@}
+
+/** BDI footprint class of a record's first line (matches CompLevel). */
+inline constexpr std::uint8_t kClassHigh = 0;          ///< compresses 4x (<= 32 B)
+inline constexpr std::uint8_t kClassLow = 1;           ///< compresses 2x (<= 64 B)
+inline constexpr std::uint8_t kClassUncompressed = 2;
+inline constexpr std::uint8_t kClassUnknown = 3;       ///< pure-ALU step / not recorded
+
+/**
+ * One recorded warp scheduling step. Mirrors WarpStep plus the two
+ * trace-only fields: the program counter and the value footprint class
+ * (what the accessed line's contents BDI-compress to), which lets a
+ * replay without the generating workload synthesize class-faithful data.
+ */
+struct TraceStep
+{
+    std::uint64_t pc = 0;
+    std::uint32_t alu_instrs = 0;
+    std::uint32_t num_lines = 0;
+    LineAddr lines[WarpStep::kMaxLinesPerInst] = {};
+    AccessType type = AccessType::kRead;
+    std::uint8_t footprint = kClassUnknown;
+};
+
+bool operator==(const TraceStep &a, const TraceStep &b);
+inline bool operator!=(const TraceStep &a, const TraceStep &b) { return !(a == b); }
+
+/** The ordered step sequence of one (sm, warp). May be empty: a recorded
+ *  warp that retired without issuing still occupies an occupancy slot. */
+struct TraceStream
+{
+    std::uint32_t sm = 0;
+    std::uint32_t warp = 0;
+    std::vector<TraceStep> steps;
+};
+
+/** Aggregate statistics of a trace (the `morpheus_trace stat` view). */
+struct TraceStats
+{
+    std::uint64_t records = 0;
+    std::uint64_t mem_records = 0;      ///< records with num_lines > 0
+    std::uint64_t lines = 0;            ///< line accesses across all records
+    std::uint64_t reads = 0;            ///< per mem record
+    std::uint64_t writes = 0;
+    std::uint64_t atomics = 0;
+    std::uint64_t alu_instrs = 0;
+    std::uint64_t class_counts[4] = {}; ///< per footprint class, mem records
+    std::uint64_t unique_lines = 0;
+    std::uint64_t footprint_bytes = 0;  ///< unique_lines * kLineBytes
+};
+
+/**
+ * An in-memory `.mtrc` trace: the decoded form produced by record_trace()
+ * and consumed by TraceWorkload. encode()/decode() are exact inverses
+ * (the determinism tests rely on byte-identical re-encoding).
+ */
+class Trace
+{
+  public:
+    std::string name;                ///< originating workload name
+    std::uint32_t num_sms = 0;       ///< compute SMs at record time
+    std::uint32_t warps_per_sm = 0;  ///< occupancy bound at record time
+    bool rle = true;                 ///< compress stream payloads on encode
+
+    /** When recorded from a synthetic workload, its data profile travels
+     *  with the trace so replayed block contents are byte-identical. */
+    bool has_profile = false;
+    BlockDataProfile profile{};
+
+    std::vector<TraceStream> streams;
+
+    std::uint64_t total_records() const;
+    TraceStats stats() const;
+
+    /** Serializes to the `.mtrc` byte layout. */
+    std::vector<std::uint8_t> encode() const;
+
+    /** Parses an encoded trace. @return false and fills @p error on any
+     *  malformed input (truncation, corrupt varints, impossible counts,
+     *  duplicate streams, trailing bytes). */
+    static bool decode(const std::uint8_t *data, std::size_t size, Trace &out,
+                       std::string &error);
+
+    /** File convenience wrappers around encode()/decode(). */
+    bool save_file(const std::string &path, std::string &error) const;
+    static bool load_file(const std::string &path, Trace &out, std::string &error);
+};
+
+/**
+ * Truncates every stream to the leading ceil(keep_frac * steps) records
+ * (clamped to [0, 1]). Keeping prefixes — rather than sampling — preserves
+ * each warp's delta chain and first-touch pattern, so the downsampled
+ * trace still replays as a coherent (shorter) kernel.
+ */
+void downsample_trace(Trace &trace, double keep_frac);
+
+/** @name Codec primitives (exposed for the format tests)
+ * LEB128 varints, zigzag signed mapping, and the byte-level RLE used for
+ * stream payloads. RLE packets: a control byte c < 0x80 announces c+1
+ * literal bytes; c >= 0x80 announces the next byte repeated (c-0x80)+3
+ * times (runs of 3..130; longer runs split).
+ */
+///@{
+void put_varint(std::vector<std::uint8_t> &out, std::uint64_t v);
+bool get_varint(const std::uint8_t *&p, const std::uint8_t *end, std::uint64_t &out);
+std::uint64_t zigzag_encode(std::int64_t v);
+std::int64_t zigzag_decode(std::uint64_t v);
+std::vector<std::uint8_t> rle_compress(const std::vector<std::uint8_t> &in);
+bool rle_decompress(const std::uint8_t *in, std::size_t in_size, std::size_t decoded_size,
+                    std::vector<std::uint8_t> &out, std::string &error);
+///@}
+
+} // namespace morpheus::trace
+
+#endif // MORPHEUS_WORKLOADS_TRACE_TRACE_FORMAT_HPP_

@@ -1,0 +1,56 @@
+#include "workloads/trace/trace_recorder.hpp"
+
+#include <algorithm>
+
+#include "cache/bdi.hpp"
+
+namespace morpheus::trace {
+
+Trace
+record_trace(Workload &workload, std::uint32_t num_sms, const BlockDataProfile *profile)
+{
+    Trace trace;
+    trace.name = workload.info().name;
+    trace.num_sms = num_sms;
+    if (profile) {
+        trace.has_profile = true;
+        trace.profile = *profile;
+    }
+
+    workload.configure(num_sms);
+    const bool real_pcs = workload.models_pc();
+    for (std::uint32_t sm = 0; sm < num_sms; ++sm) {
+        const std::uint32_t warps = workload.warps_on(sm);
+        trace.warps_per_sm = std::max(trace.warps_per_sm, warps);
+        for (std::uint32_t warp = 0; warp < warps; ++warp) {
+            TraceStream stream;
+            stream.sm = sm;
+            stream.warp = warp;
+            std::uint64_t pc_cursor = 0;
+            WarpStep step;
+            while (workload.next_step(sm, warp, step)) {
+                TraceStep rec;
+                rec.pc = real_pcs ? step.pc : pc_cursor;
+                pc_cursor = rec.pc + 8ULL * step.instructions();
+                rec.alu_instrs = step.alu_instrs;
+                rec.num_lines = std::min<std::uint32_t>(step.num_lines,
+                                                        WarpStep::kMaxLinesPerInst);
+                for (std::uint32_t i = 0; i < rec.num_lines; ++i)
+                    rec.lines[i] = step.lines[i];
+                rec.type = step.type;
+                if (rec.num_lines > 0) {
+                    const BdiResult bdi =
+                        bdi_compress(workload.synthesize_block(rec.lines[0]));
+                    rec.footprint = static_cast<std::uint8_t>(bdi.level);
+                }
+                stream.steps.push_back(rec);
+            }
+            trace.streams.push_back(std::move(stream));
+        }
+    }
+    if (trace.warps_per_sm == 0)
+        trace.warps_per_sm = 1;
+    return trace;
+}
+
+} // namespace morpheus::trace

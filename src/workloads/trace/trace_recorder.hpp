@@ -1,0 +1,38 @@
+#ifndef MORPHEUS_WORKLOADS_TRACE_TRACE_RECORDER_HPP_
+#define MORPHEUS_WORKLOADS_TRACE_TRACE_RECORDER_HPP_
+
+#include <cstdint>
+
+#include "gpu/workload.hpp"
+#include "workloads/trace/trace_format.hpp"
+
+namespace morpheus::trace {
+
+/**
+ * Drain-records @p workload into an in-memory trace: partitions the work
+ * over @p num_sms compute SMs (the workload's configure() contract) and
+ * exhausts every (sm, warp) stream.
+ *
+ * Draining — rather than simulating — is exact because workload streams
+ * are deterministic per (sm, warp) and independent of simulation timing;
+ * replaying the result through GpuSystem therefore reproduces a live
+ * run of the same workload bit-for-bit.
+ *
+ * Records step program counters verbatim when the workload models them
+ * (Workload::models_pc(), e.g. a replayed trace — legitimate zero pcs
+ * included), otherwise synthesizes a monotonic per-warp pc advancing
+ * 8 bytes per warp-instruction. Either way a re-record of a replay
+ * reproduces the same pcs, keeping record→replay→re-record
+ * byte-identical.
+ *
+ * The footprint class of each memory step's first line is derived by
+ * actually BDI-compressing the workload's block contents. @p profile
+ * (may be nullptr) is embedded in the header so replays synthesize
+ * byte-identical data.
+ */
+Trace record_trace(Workload &workload, std::uint32_t num_sms,
+                   const BlockDataProfile *profile = nullptr);
+
+} // namespace morpheus::trace
+
+#endif // MORPHEUS_WORKLOADS_TRACE_TRACE_RECORDER_HPP_

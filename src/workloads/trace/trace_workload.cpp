@@ -1,0 +1,101 @@
+#include "workloads/trace/trace_workload.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace morpheus {
+namespace {
+
+/** Seed for class-faithful block synthesis of profile-less traces. */
+constexpr std::uint64_t kClassBlockSeed = 0x37AC3B10C5ULL;
+
+} // namespace
+
+TraceWorkload::TraceWorkload(const trace::Trace &trace) : trace_(trace)
+{
+    info_.name = trace_.name.empty() ? "trace" : trace_.name;
+    info_.memory_bound = true;
+
+    if (!trace_.has_profile) {
+        // First-recorded class wins; only a record's first line carries a
+        // class in the v1 format, which covers the dominant access.
+        for (const auto &stream : trace_.streams) {
+            for (const auto &step : stream.steps) {
+                if (step.num_lines > 0 && step.footprint != trace::kClassUnknown)
+                    line_class_.emplace(step.lines[0], step.footprint);
+            }
+        }
+    }
+}
+
+void
+TraceWorkload::configure(std::uint32_t num_sms)
+{
+    assert(num_sms > 0);
+    slots_.assign(num_sms, {});
+    cursors_.assign(trace_.streams.size(), 0);
+
+    // Deterministic stream order regardless of on-disk ordering.
+    std::vector<std::uint32_t> order(trace_.streams.size());
+    for (std::uint32_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(), [this](std::uint32_t a, std::uint32_t b) {
+        const auto &sa = trace_.streams[a];
+        const auto &sb = trace_.streams[b];
+        return sa.sm != sb.sm ? sa.sm < sb.sm : sa.warp < sb.warp;
+    });
+
+    if (num_sms == trace_.num_sms) {
+        // Identity mapping: stream (sm, warp) replays on slot (sm, warp),
+        // which is what makes record→replay bit-exact.
+        for (std::uint32_t idx : order)
+            slots_[trace_.streams[idx].sm].push_back(idx);
+    } else {
+        // Strong scaling: deal the fixed stream set round-robin.
+        std::uint32_t next = 0;
+        for (std::uint32_t idx : order)
+            slots_[next++ % num_sms].push_back(idx);
+    }
+}
+
+std::uint32_t
+TraceWorkload::warps_on(std::uint32_t sm) const
+{
+    assert(!slots_.empty() && "configure() must run before warps_on()");
+    return sm < slots_.size() ? static_cast<std::uint32_t>(slots_[sm].size()) : 0;
+}
+
+bool
+TraceWorkload::next_step(std::uint32_t sm, std::uint32_t warp, WarpStep &out)
+{
+    assert(sm < slots_.size() && warp < slots_[sm].size());
+    const std::uint32_t stream_idx = slots_[sm][warp];
+    const auto &steps = trace_.streams[stream_idx].steps;
+    std::size_t &cursor = cursors_[stream_idx];
+    if (cursor >= steps.size())
+        return false;
+    const trace::TraceStep &step = steps[cursor++];
+
+    out = WarpStep{};
+    out.pc = step.pc;
+    out.alu_instrs = step.alu_instrs;
+    out.num_lines = std::min<std::uint32_t>(step.num_lines, WarpStep::kMaxLinesPerInst);
+    for (std::uint32_t i = 0; i < out.num_lines; ++i)
+        out.lines[i] = step.lines[i];
+    out.type = step.type;
+    return true;
+}
+
+Block
+TraceWorkload::synthesize_block(LineAddr line) const
+{
+    if (trace_.has_profile)
+        return morpheus::synthesize_block(trace_.profile, line);
+
+    auto it = line_class_.find(line);
+    const std::uint8_t cls = it == line_class_.end() ? trace::kClassUncompressed : it->second;
+    return synthesize_block_of_level(static_cast<CompLevel>(std::min<std::uint8_t>(cls, 2)),
+                                     kClassBlockSeed, line);
+}
+
+} // namespace morpheus

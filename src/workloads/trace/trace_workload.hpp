@@ -1,0 +1,65 @@
+#ifndef MORPHEUS_WORKLOADS_TRACE_TRACE_WORKLOAD_HPP_
+#define MORPHEUS_WORKLOADS_TRACE_TRACE_WORKLOAD_HPP_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "gpu/workload.hpp"
+#include "workloads/trace/trace_format.hpp"
+
+namespace morpheus {
+
+/**
+ * A Workload that replays a recorded `.mtrc` trace, so GpuSystem/Sm
+ * consume recorded kernels exactly like synthetic ones.
+ *
+ * Replayed at the trace's recorded SM count, each (sm, warp) stream maps
+ * onto the identical (sm, warp) slot, which makes a record→replay run
+ * reproduce the original run's timing and hit/miss counters exactly
+ * (tests/test_trace_replay.cpp locks this in). At any other SM count the
+ * fixed set of streams is dealt round-robin across the available SMs
+ * (strong scaling over recorded work, mirroring the synthetic
+ * generator's repartitioning contract).
+ *
+ * Block contents: traces recorded from synthetic workloads carry the
+ * generator's BlockDataProfile, so synthesize_block() is byte-identical
+ * to the original. Profile-less traces (converted from real kernels)
+ * fall back to the per-line footprint classes embedded in the records,
+ * synthesizing deterministic blocks that BDI-compress to the recorded
+ * level — faithful where it matters to the extended LLC (slot sizing).
+ */
+class TraceWorkload final : public Workload
+{
+  public:
+    /**
+     * @param trace the trace to replay. Not owned and not copied — it
+     * must outlive this workload (real-kernel traces can run to
+     * megabytes, and parallel sweep jobs replaying the same trace
+     * share one in-memory copy; the mutable replay state lives here).
+     */
+    explicit TraceWorkload(const trace::Trace &trace);
+
+    const WorkloadInfo &info() const override { return info_; }
+    void configure(std::uint32_t num_sms) override;
+    std::uint32_t warps_on(std::uint32_t sm) const override;
+    bool next_step(std::uint32_t sm, std::uint32_t warp, WarpStep &out) override;
+    Block synthesize_block(LineAddr line) const override;
+    bool models_pc() const override { return true; }
+
+    const trace::Trace &trace() const { return trace_; }
+
+  private:
+    const trace::Trace &trace_;
+    WorkloadInfo info_;
+    /** Per configured SM: indices into trace_.streams, in warp-slot order. */
+    std::vector<std::vector<std::uint32_t>> slots_;
+    /** Per stream: next step to replay. */
+    std::vector<std::size_t> cursors_;
+    /** line -> footprint class, for profile-less traces. */
+    std::unordered_map<LineAddr, std::uint8_t> line_class_;
+};
+
+} // namespace morpheus
+
+#endif // MORPHEUS_WORKLOADS_TRACE_TRACE_WORKLOAD_HPP_

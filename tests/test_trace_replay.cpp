@@ -1,0 +1,219 @@
+/**
+ * @file
+ * End-to-end trace-replay guarantees:
+ *  - record→replay of a synthetic workload reproduces the live run's
+ *    RunResult (every counter and latency) bit-identically, on both a
+ *    conventional and a Morpheus system;
+ *  - record→replay→re-record produces a byte-identical trace;
+ *  - the trace_replay scenario's report is identical under --jobs 1 and
+ *    --jobs N (replay determinism through the whole harness);
+ *  - downsampled traces still replay end-to-end.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "cache/bdi.hpp"
+#include "harness/report.hpp"
+#include "harness/sweep_engine.hpp"
+#include "scenarios/scenarios.hpp"
+#include "workloads/synthetic_workload.hpp"
+#include "workloads/trace/trace_recorder.hpp"
+#include "workloads/trace/trace_workload.hpp"
+
+using namespace morpheus;
+
+namespace {
+
+constexpr std::uint32_t kSms = 3;
+
+WorkloadParams
+small_params()
+{
+    WorkloadParams params;
+    params.name = "replay-test";
+    params.pattern = PatternKind::kStreamShared;
+    params.warps_per_sm = 6;
+    params.total_mem_instrs = 5000;
+    params.shared_ws_bytes = 1 << 20;
+    params.per_warp_ws_bytes = 32 * 1024;
+    params.private_frac = 0.3;
+    params.reuse_frac = 0.25;
+    params.write_frac = 0.2;
+    params.atomic_frac = 0.05;
+    params.lines_per_mem = 3;
+    return params;
+}
+
+SystemSetup
+conventional_setup()
+{
+    SystemSetup setup;
+    setup.compute_sms = kSms;
+    return setup;
+}
+
+SystemSetup
+morpheus_test_setup()
+{
+    SystemSetup setup;
+    setup.compute_sms = kSms;
+    setup.morpheus.enabled = true;
+    setup.morpheus.cache_sms = 4;
+    setup.morpheus.kernel.compression = true;
+    setup.morpheus.prediction = PredictionMode::kBloom;
+    return setup;
+}
+
+trace::Trace
+recorded_trace()
+{
+    const WorkloadParams params = small_params();
+    SyntheticWorkload workload(params);
+    return trace::record_trace(workload, kSms, &params.data);
+}
+
+} // namespace
+
+TEST(TraceReplay, ReproducesSyntheticRunExactly)
+{
+    const WorkloadParams params = small_params();
+    const trace::Trace trace = recorded_trace();
+    EXPECT_GT(trace.total_records(), 0u);
+
+    for (const SystemSetup &setup : {conventional_setup(), morpheus_test_setup()}) {
+        const RunResult live = run_setup(setup, params);
+        TraceWorkload replay(trace);
+        const RunResult replayed = run_workload(setup, replay);
+
+        // The acceptance criterion: identical timing and identical
+        // hit/miss accounting, not merely "close".
+        EXPECT_TRUE(run_results_identical(live, replayed))
+            << "cycles " << live.cycles << " vs " << replayed.cycles << ", l1 "
+            << live.l1_hits << "/" << live.l1_misses << " vs " << replayed.l1_hits << "/"
+            << replayed.l1_misses << ", ext " << live.ext_hits << "/" << live.ext_misses
+            << " vs " << replayed.ext_hits << "/" << replayed.ext_misses;
+        EXPECT_EQ(live.workload, replayed.workload);
+    }
+}
+
+TEST(TraceReplay, RecordReplayRerecordIsByteIdentical)
+{
+    const trace::Trace first = recorded_trace();
+    const auto first_bytes = first.encode();
+
+    TraceWorkload replay(first);
+    trace::Trace second = trace::record_trace(replay, kSms, &first.profile);
+    EXPECT_EQ(second.encode(), first_bytes);
+
+    // And once more through a file, to cover save/load in the loop.
+    const std::string path = ::testing::TempDir() + "/rerecord.mtrc";
+    std::string error;
+    ASSERT_TRUE(second.save_file(path, error)) << error;
+    trace::Trace loaded;
+    ASSERT_TRUE(trace::Trace::load_file(path, loaded, error)) << error;
+    EXPECT_EQ(loaded.encode(), first_bytes);
+    std::remove(path.c_str());
+}
+
+TEST(TraceReplay, WorkloadRerunsAfterReconfigure)
+{
+    // GpuSystem::run() calls configure() on every run; a TraceWorkload
+    // instance must replay identically when reused.
+    const trace::Trace trace = recorded_trace();
+    TraceWorkload replay(trace);
+    const RunResult a = run_workload(conventional_setup(), replay);
+    const RunResult b = run_workload(conventional_setup(), replay);
+    EXPECT_TRUE(run_results_identical(a, b));
+}
+
+TEST(TraceReplay, RedistributesAcrossDifferentSmCounts)
+{
+    const trace::Trace trace = recorded_trace();
+    const std::uint64_t recorded = trace.total_records();
+
+    for (std::uint32_t sms : {1u, 2u, 5u}) {
+        TraceWorkload replay(trace);
+        SystemSetup setup;
+        setup.compute_sms = sms;
+        const RunResult r = run_workload(setup, replay);
+        // Strong scaling: all recorded work replays regardless of the SM
+        // count it lands on.
+        EXPECT_GT(r.instructions, 0u);
+        EXPECT_GT(r.cycles, 0u);
+        EXPECT_EQ(recorded, trace.total_records());
+    }
+}
+
+TEST(TraceReplay, ScenarioReportIdenticalAcrossJobCounts)
+{
+    const trace::Trace trace = recorded_trace();
+    const std::string path = ::testing::TempDir() + "/scenario.mtrc";
+    std::string error;
+    ASSERT_TRUE(trace.save_file(path, error)) << error;
+
+    auto run_with_jobs = [&](unsigned jobs, RunReport &report, std::string &text) {
+        std::ostringstream os;
+        ScenarioOptions opts;
+        opts.jobs = jobs;
+        opts.out = &os;
+        opts.trace_path = path;
+        opts.report = &report;
+        EXPECT_EQ(scenarios::run_trace_replay(opts), 0);
+        text = os.str();
+    };
+
+    RunReport serial("trace_replay");
+    std::string serial_text;
+    run_with_jobs(1, serial, serial_text);
+    EXPECT_FALSE(serial.empty());
+
+    for (unsigned jobs : {2u, 4u, 8u}) {
+        RunReport parallel("trace_replay");
+        std::string parallel_text;
+        run_with_jobs(jobs, parallel, parallel_text);
+        EXPECT_TRUE(reports_identical(serial, parallel)) << jobs << " jobs";
+        EXPECT_EQ(serial_text, parallel_text) << jobs << " jobs";
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceReplay, DownsampledTraceReplaysEndToEnd)
+{
+    trace::Trace trace = recorded_trace();
+    const std::uint64_t before = trace.total_records();
+    trace::downsample_trace(trace, 0.25);
+    EXPECT_LT(trace.total_records(), before);
+    EXPECT_GT(trace.total_records(), 0u);
+
+    TraceWorkload replay(trace);
+    const RunResult r = run_workload(conventional_setup(), replay);
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_GT(r.instructions, 0u);
+}
+
+TEST(TraceReplay, ProfilelessTraceSynthesizesRecordedClasses)
+{
+    // Strip the profile: replay must fall back to per-record footprint
+    // classes, and blocks must BDI-compress to the recorded level.
+    trace::Trace trace = recorded_trace();
+    trace.has_profile = false;
+    TraceWorkload replay(trace);
+
+    std::uint64_t checked = 0;
+    for (const auto &stream : trace.streams) {
+        for (const auto &step : stream.steps) {
+            if (step.num_lines == 0 || step.footprint == trace::kClassUnknown)
+                continue;
+            const Block block = replay.synthesize_block(step.lines[0]);
+            const BdiResult bdi = bdi_compress(block);
+            EXPECT_EQ(static_cast<std::uint8_t>(bdi.level), step.footprint)
+                << "line " << step.lines[0];
+            if (++checked == 200)
+                return;  // a representative sample is plenty
+        }
+    }
+    EXPECT_GT(checked, 0u);
+}
