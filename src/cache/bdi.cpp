@@ -1,21 +1,91 @@
 #include "cache/bdi.hpp"
 
+#include <bit>
 #include <cstring>
+
+/*
+ * Hot-path notes. BDI runs on every extended-LLC insertion (and the
+ * level_of probe before it), so the codec is written branch-lean:
+ *
+ *  - Segments are loaded as whole little-endian words through
+ *    std::memcpy (single mov on little-endian hosts; a byte loop keeps
+ *    big-endian hosts correct), instead of assembling values one byte at
+ *    a time.
+ *  - Each (base,delta) candidate is a width-templated probe, so segment
+ *    count, load width, and the signed-delta range check are all
+ *    compile-time constants. A probe bails out on the first segment whose
+ *    base-relative delta overflows (the per-base early-out).
+ *  - The per-segment base/zero-immediate choice is a plain uint64 bit
+ *    mask (one bit per segment, 64 max) rather than a std::vector<bool>,
+ *    so analysis allocates nothing.
+ *  - encode reuses the analysis of the winning candidate instead of
+ *    re-probing it.
+ *
+ * The encoded byte layout and the candidate preference order are
+ * unchanged from the original byte-loop implementation — encodings are
+ * bit-identical (tests/test_bdi_property.cpp checks this against a
+ * reference encoder, and the randomized round-trip property tests are
+ * the oracle for decode).
+ */
 
 namespace morpheus {
 namespace {
 
-/** Reads a little-endian unsigned integer of @p width bytes at @p p. */
+/** Loads a little-endian unsigned integer of exactly @p W bytes. */
+template <std::uint32_t W>
 std::uint64_t
-read_le(const std::uint8_t *p, std::uint32_t width)
+load_le(const std::uint8_t *p)
 {
-    std::uint64_t v = 0;
-    for (std::uint32_t i = 0; i < width; ++i)
-        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
-    return v;
+    static_assert(W == 1 || W == 2 || W == 4 || W == 8);
+    if constexpr (std::endian::native == std::endian::little) {
+        if constexpr (W == 8) {
+            std::uint64_t v;
+            std::memcpy(&v, p, 8);
+            return v;
+        } else if constexpr (W == 4) {
+            std::uint32_t v;
+            std::memcpy(&v, p, 4);
+            return v;
+        } else if constexpr (W == 2) {
+            std::uint16_t v;
+            std::memcpy(&v, p, 2);
+            return v;
+        } else {
+            return p[0];
+        }
+    } else {
+        std::uint64_t v = 0;
+        for (std::uint32_t i = 0; i < W; ++i)
+            v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+        return v;
+    }
 }
 
-/** Writes a little-endian unsigned integer of @p width bytes at @p p. */
+/** Stores the low @p W bytes of @p v little-endian. */
+template <std::uint32_t W>
+void
+store_le(std::uint8_t *p, std::uint64_t v)
+{
+    static_assert(W == 1 || W == 2 || W == 4 || W == 8);
+    if constexpr (std::endian::native == std::endian::little) {
+        if constexpr (W == 8) {
+            std::memcpy(p, &v, 8);
+        } else if constexpr (W == 4) {
+            const std::uint32_t t = static_cast<std::uint32_t>(v);
+            std::memcpy(p, &t, 4);
+        } else if constexpr (W == 2) {
+            const std::uint16_t t = static_cast<std::uint16_t>(v);
+            std::memcpy(p, &t, 2);
+        } else {
+            p[0] = static_cast<std::uint8_t>(v);
+        }
+    } else {
+        for (std::uint32_t i = 0; i < W; ++i)
+            p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    }
+}
+
+/** Writes a little-endian unsigned integer of runtime @p width bytes (cold path). */
 void
 write_le(std::uint8_t *p, std::uint64_t v, std::uint32_t width)
 {
@@ -23,21 +93,13 @@ write_le(std::uint8_t *p, std::uint64_t v, std::uint32_t width)
         p[i] = static_cast<std::uint8_t>(v >> (8 * i));
 }
 
-/** Sign-extends the low @p width bytes of @p v to 64 bits. */
+/** Sign-extends the low @p W bytes of @p v to 64 bits. */
+template <std::uint32_t W>
 std::int64_t
-sign_extend(std::uint64_t v, std::uint32_t width)
+sign_extend(std::uint64_t v)
 {
-    const std::uint32_t shift = 64 - 8 * width;
+    constexpr std::uint32_t shift = 64 - 8 * W;
     return static_cast<std::int64_t>(v << shift) >> shift;
-}
-
-/** True if signed value @p d fits in @p width bytes. */
-bool
-fits_signed(std::int64_t d, std::uint32_t width)
-{
-    const std::int64_t lo = -(1LL << (8 * width - 1));
-    const std::int64_t hi = (1LL << (8 * width - 1)) - 1;
-    return d >= lo && d <= hi;
 }
 
 /**
@@ -63,63 +125,191 @@ wrap_add(std::int64_t a, std::int64_t b)
 }
 ///@}
 
-struct Candidate
+/**
+ * Probes one base/delta candidate. On success fills @p base (raw low
+ * bytes of the base segment) and @p use_base_mask (bit s set: segment s
+ * is base-relative rather than zero-immediate), and returns true.
+ *
+ * A segment value fits a DW-byte signed delta iff it lies in
+ * [-2^(8*DW-1), 2^(8*DW-1)-1] — equivalently, its upper BW-DW bytes are
+ * a pure sign extension of the delta's top bit. Zero-immediate is tried
+ * first (small absolute values need no base); the first segment that
+ * needs a base *becomes* the base, and any later segment whose
+ * base-relative delta overflows rejects the candidate immediately.
+ */
+template <std::uint32_t BW, std::uint32_t DW>
+bool
+probe_candidate(const std::uint8_t *data, std::uint64_t &base, std::uint64_t &use_base_mask)
 {
-    BdiEncoding encoding;
-    std::uint32_t base_width;
-    std::uint32_t delta_width;
-};
+    constexpr std::uint32_t kSegments = kLineBytes / BW;
+    static_assert(kSegments <= 64, "use_base_mask holds one bit per segment");
+    constexpr std::int64_t kLo = -(1LL << (8 * DW - 1));
+    constexpr std::int64_t kHi = (1LL << (8 * DW - 1)) - 1;
 
-constexpr Candidate kCandidates[] = {
-    {BdiEncoding::kBase8Delta1, 8, 1},
-    {BdiEncoding::kBase4Delta1, 4, 1},
-    {BdiEncoding::kBase8Delta2, 8, 2},
-    {BdiEncoding::kBase2Delta1, 2, 1},
-    {BdiEncoding::kBase4Delta2, 4, 2},
-    {BdiEncoding::kBase8Delta4, 8, 4},
-};
+    use_base_mask = 0;
+    base = 0;
+    std::int64_t base_val = 0;
+    bool have_base = false;
+
+    for (std::uint32_t s = 0; s < kSegments; ++s) {
+        const std::uint64_t raw = load_le<BW>(data + s * BW);
+        const std::int64_t value = sign_extend<BW>(raw);
+
+        // Zero-immediate base first: small absolute values need no base.
+        if (value >= kLo && value <= kHi)
+            continue;
+        if (!have_base) {
+            base = raw;
+            base_val = value;
+            have_base = true;
+        }
+        const std::int64_t delta = wrap_sub(value, base_val);
+        if (delta < kLo || delta > kHi)
+            return false; // per-base early-out
+        use_base_mask |= 1ULL << s;
+    }
+    return true;
+}
+
+/** Emits the per-segment deltas of an already-probed candidate. */
+template <std::uint32_t BW, std::uint32_t DW>
+void
+emit_deltas(const std::uint8_t *data, std::uint64_t base, std::uint64_t use_base_mask,
+            std::uint8_t *deltas)
+{
+    constexpr std::uint32_t kSegments = kLineBytes / BW;
+    const std::int64_t base_val = sign_extend<BW>(base);
+    for (std::uint32_t s = 0; s < kSegments; ++s) {
+        const std::int64_t value = sign_extend<BW>(load_le<BW>(data + s * BW));
+        const bool rel = (use_base_mask >> s) & 1;
+        const std::int64_t delta = rel ? wrap_sub(value, base_val) : value;
+        store_le<DW>(deltas + s * DW, static_cast<std::uint64_t>(delta));
+    }
+}
+
+/** Reconstructs a block from an encoded base+mask+deltas payload. */
+template <std::uint32_t BW, std::uint32_t DW>
+void
+expand_deltas(const std::uint8_t *in, std::uint8_t *out)
+{
+    constexpr std::uint32_t kSegments = kLineBytes / BW;
+    constexpr std::uint32_t kMaskBytes = (kSegments + 7) / 8;
+    const std::int64_t base_val = sign_extend<BW>(load_le<BW>(in));
+    std::uint64_t mask = 0;
+    for (std::uint32_t i = 0; i < kMaskBytes; ++i)
+        mask |= static_cast<std::uint64_t>(in[BW + i]) << (8 * i);
+    const std::uint8_t *deltas = in + BW + kMaskBytes;
+    for (std::uint32_t s = 0; s < kSegments; ++s) {
+        const std::int64_t delta = sign_extend<DW>(load_le<DW>(deltas + s * DW));
+        const bool rel = (mask >> s) & 1;
+        const std::int64_t value = rel ? wrap_add(base_val, delta) : delta;
+        store_le<BW>(out + s * BW, static_cast<std::uint64_t>(value));
+    }
+}
 
 /**
  * Encoded size for a base/delta candidate: base value + one mask bit per
  * segment (base vs. zero-immediate) + one delta per segment.
  */
-std::uint32_t
+constexpr std::uint32_t
 candidate_size(std::uint32_t base_width, std::uint32_t delta_width)
 {
     const std::uint32_t segments = kLineBytes / base_width;
     return base_width + (segments + 7) / 8 + segments * delta_width;
 }
 
-/**
- * Tries a candidate encoding. On success fills @p base and @p use_base
- * (per-segment flag: delta is relative to base rather than zero).
- */
-bool
-try_candidate(const Block &block, const Candidate &cand, std::uint64_t &base,
-              std::vector<bool> &use_base)
+struct Candidate
 {
-    const std::uint32_t segments = kLineBytes / cand.base_width;
-    use_base.assign(segments, false);
-    bool have_base = false;
-    base = 0;
+    BdiEncoding encoding;
+    std::uint32_t base_width;
+    std::uint32_t delta_width;
+    std::uint32_t size_bytes;
+    bool (*probe)(const std::uint8_t *, std::uint64_t &, std::uint64_t &);
+    void (*emit)(const std::uint8_t *, std::uint64_t, std::uint64_t, std::uint8_t *);
+    void (*expand)(const std::uint8_t *, std::uint8_t *);
+};
 
-    for (std::uint32_t s = 0; s < segments; ++s) {
-        const std::uint64_t raw = read_le(block.data() + s * cand.base_width, cand.base_width);
-        const std::int64_t value = sign_extend(raw, cand.base_width);
+template <std::uint32_t BW, std::uint32_t DW>
+constexpr Candidate
+make_candidate(BdiEncoding e)
+{
+    return {e,  BW, DW, candidate_size(BW, DW), &probe_candidate<BW, DW>, &emit_deltas<BW, DW>,
+            &expand_deltas<BW, DW>};
+}
 
-        // Zero-immediate base first: small absolute values need no base.
-        if (fits_signed(value, cand.delta_width))
-            continue;
-        if (!have_base) {
-            base = raw;
-            have_base = true;
-        }
-        const std::int64_t base_val = sign_extend(base, cand.base_width);
-        if (!fits_signed(wrap_sub(value, base_val), cand.delta_width))
-            return false;
-        use_base[s] = true;
+/** Preference order (must match the original implementation exactly). */
+constexpr Candidate kCandidates[] = {
+    make_candidate<8, 1>(BdiEncoding::kBase8Delta1),
+    make_candidate<4, 1>(BdiEncoding::kBase4Delta1),
+    make_candidate<8, 2>(BdiEncoding::kBase8Delta2),
+    make_candidate<2, 1>(BdiEncoding::kBase2Delta1),
+    make_candidate<4, 2>(BdiEncoding::kBase4Delta2),
+    make_candidate<8, 4>(BdiEncoding::kBase8Delta4),
+};
+
+const Candidate *
+candidate_for(BdiEncoding e)
+{
+    for (const auto &cand : kCandidates) {
+        if (cand.encoding == e)
+            return &cand;
     }
-    return true;
+    return nullptr;
+}
+
+/** Full analysis of one block: chosen encoding plus the winner's base/mask. */
+struct Analysis
+{
+    BdiResult result;
+    const Candidate *winner = nullptr;
+    std::uint64_t base = 0;
+    std::uint64_t use_base_mask = 0;
+};
+
+Analysis
+analyze(const Block &block)
+{
+    Analysis a;
+
+    // All-zeros special case: 1 byte. OR-reduce the 16 words.
+    std::uint64_t words[kLineBytes / 8];
+    std::memcpy(words, block.data(), kLineBytes);
+    std::uint64_t any = 0;
+    for (std::uint64_t w : words)
+        any |= w;
+    if (any == 0) {
+        a.result = {BdiEncoding::kZeros, 1, CompLevel::kHigh};
+        return a;
+    }
+
+    // Repeated 8-byte value: 8 bytes.
+    bool repeated = true;
+    for (std::uint32_t i = 1; i < kLineBytes / 8; ++i) {
+        if (words[i] != words[0]) {
+            repeated = false;
+            break;
+        }
+    }
+    if (repeated) {
+        a.result = {BdiEncoding::kRepeat, 8, CompLevel::kHigh};
+        return a;
+    }
+
+    std::uint64_t base = 0;
+    std::uint64_t mask = 0;
+    for (const auto &cand : kCandidates) {
+        if (cand.size_bytes >= a.result.size_bytes)
+            continue;
+        if (cand.probe(block.data(), base, mask)) {
+            a.result.encoding = cand.encoding;
+            a.result.size_bytes = cand.size_bytes;
+            a.winner = &cand;
+            a.base = base;
+            a.use_base_mask = mask;
+        }
+    }
+    a.result.level = comp_level_for_size(a.result.size_bytes);
+    return a;
 }
 
 } // namespace
@@ -152,94 +342,39 @@ bdi_encoding_name(BdiEncoding e)
 BdiResult
 bdi_compress(const Block &block)
 {
-    // All-zeros special case: 1 byte.
-    bool all_zero = true;
-    for (auto b : block) {
-        if (b != 0) {
-            all_zero = false;
-            break;
-        }
-    }
-    if (all_zero)
-        return {BdiEncoding::kZeros, 1, CompLevel::kHigh};
-
-    // Repeated 8-byte value: 8 bytes.
-    bool repeated = true;
-    for (std::uint32_t i = 8; i < kLineBytes; ++i) {
-        if (block[i] != block[i % 8]) {
-            repeated = false;
-            break;
-        }
-    }
-    if (repeated)
-        return {BdiEncoding::kRepeat, 8, CompLevel::kHigh};
-
-    BdiResult best;
-    std::uint64_t base = 0;
-    std::vector<bool> use_base;
-    for (const auto &cand : kCandidates) {
-        const std::uint32_t size = candidate_size(cand.base_width, cand.delta_width);
-        if (size >= best.size_bytes)
-            continue;
-        if (try_candidate(block, cand, base, use_base)) {
-            best.encoding = cand.encoding;
-            best.size_bytes = size;
-        }
-    }
-    best.level = comp_level_for_size(best.size_bytes);
-    return best;
+    return analyze(block).result;
 }
 
 BdiResult
 bdi_encode(const Block &block, std::vector<std::uint8_t> &out)
 {
     out.clear();
-    const BdiResult result = bdi_compress(block);
-    switch (result.encoding) {
+    const Analysis a = analyze(block);
+    switch (a.result.encoding) {
       case BdiEncoding::kZeros:
         out.push_back(0);
-        return result;
+        return a.result;
       case BdiEncoding::kRepeat:
         out.resize(8);
         std::memcpy(out.data(), block.data(), 8);
-        return result;
+        return a.result;
       case BdiEncoding::kUncompressed:
         out.assign(block.begin(), block.end());
-        return result;
+        return a.result;
       default:
         break;
     }
 
-    std::uint32_t base_width = 0;
-    std::uint32_t delta_width = 0;
-    for (const auto &cand : kCandidates) {
-        if (cand.encoding == result.encoding) {
-            base_width = cand.base_width;
-            delta_width = cand.delta_width;
-            break;
-        }
-    }
-
-    std::uint64_t base = 0;
-    std::vector<bool> use_base;
-    try_candidate(block, {result.encoding, base_width, delta_width}, base, use_base);
-
-    const std::uint32_t segments = kLineBytes / base_width;
+    const Candidate &cand = *a.winner;
+    const std::uint32_t segments = kLineBytes / cand.base_width;
     const std::uint32_t mask_bytes = (segments + 7) / 8;
-    out.resize(result.size_bytes, 0);
-    write_le(out.data(), base, base_width);
-    std::uint8_t *mask = out.data() + base_width;
-    std::uint8_t *deltas = mask + mask_bytes;
-    const std::int64_t base_val = sign_extend(base, base_width);
-    for (std::uint32_t s = 0; s < segments; ++s) {
-        const std::uint64_t raw = read_le(block.data() + s * base_width, base_width);
-        const std::int64_t value = sign_extend(raw, base_width);
-        const std::int64_t delta = use_base[s] ? wrap_sub(value, base_val) : value;
-        if (use_base[s])
-            mask[s / 8] |= static_cast<std::uint8_t>(1u << (s % 8));
-        write_le(deltas + s * delta_width, static_cast<std::uint64_t>(delta), delta_width);
-    }
-    return result;
+    out.resize(a.result.size_bytes);
+    write_le(out.data(), a.base, cand.base_width);
+    std::uint8_t *mask = out.data() + cand.base_width;
+    for (std::uint32_t i = 0; i < mask_bytes; ++i)
+        mask[i] = static_cast<std::uint8_t>(a.use_base_mask >> (8 * i));
+    cand.emit(block.data(), a.base, a.use_base_mask, mask + mask_bytes);
+    return a.result;
 }
 
 Block
@@ -260,29 +395,7 @@ bdi_decode(BdiEncoding encoding, const std::vector<std::uint8_t> &in)
         break;
     }
 
-    std::uint32_t base_width = 0;
-    std::uint32_t delta_width = 0;
-    for (const auto &cand : kCandidates) {
-        if (cand.encoding == encoding) {
-            base_width = cand.base_width;
-            delta_width = cand.delta_width;
-            break;
-        }
-    }
-
-    const std::uint32_t segments = kLineBytes / base_width;
-    const std::uint32_t mask_bytes = (segments + 7) / 8;
-    const std::uint64_t base = read_le(in.data(), base_width);
-    const std::uint8_t *mask = in.data() + base_width;
-    const std::uint8_t *deltas = mask + mask_bytes;
-    const std::int64_t base_val = sign_extend(base, base_width);
-    for (std::uint32_t s = 0; s < segments; ++s) {
-        const std::int64_t delta =
-            sign_extend(read_le(deltas + s * delta_width, delta_width), delta_width);
-        const bool rel_base = mask[s / 8] & (1u << (s % 8));
-        const std::int64_t value = rel_base ? wrap_add(base_val, delta) : delta;
-        write_le(block.data() + s * base_width, static_cast<std::uint64_t>(value), base_width);
-    }
+    candidate_for(encoding)->expand(in.data(), block.data());
     return block;
 }
 

@@ -103,17 +103,40 @@ Sm::issue()
             ready_.push(ReadyEntry{end + 4, top.warp});
         }
 
-        auto remaining = std::make_shared<std::uint32_t>(step.num_lines);
-        for (std::uint32_t i = 0; i < step.num_lines; ++i) {
-            const std::uint32_t warp = top.warp;
-            l1_.access(end, step.type, step.lines[i], version,
-                       [this, warp, blocking, remaining](Cycle t, std::uint64_t) {
-                           if (blocking && --*remaining == 0)
-                               complete_mem(warp, t);
-                       });
+        if (blocking) {
+            const std::uint32_t slot = alloc_step_counter(step.num_lines);
+            for (std::uint32_t i = 0; i < step.num_lines; ++i) {
+                const std::uint32_t warp = top.warp;
+                l1_.access(end, step.type, step.lines[i], version,
+                           [this, warp, slot](Cycle t, std::uint64_t) {
+                               if (--step_counters_[slot] == 0) {
+                                   counter_free_.push_back(slot);
+                                   complete_mem(warp, t);
+                               }
+                           });
+            }
+        } else {
+            // Fire-and-forget: nothing waits on the responses.
+            for (std::uint32_t i = 0; i < step.num_lines; ++i)
+                l1_.access(end, step.type, step.lines[i], version, [](Cycle, std::uint64_t) {});
         }
     }
     // All warps blocked (or done): complete_mem re-arms issuing.
+}
+
+std::uint32_t
+Sm::alloc_step_counter(std::uint32_t lines)
+{
+    std::uint32_t slot;
+    if (counter_free_.empty()) {
+        slot = static_cast<std::uint32_t>(step_counters_.size());
+        step_counters_.push_back(lines);
+    } else {
+        slot = counter_free_.back();
+        counter_free_.pop_back();
+        step_counters_[slot] = lines;
+    }
+    return slot;
 }
 
 void

@@ -63,6 +63,7 @@ class Sm
     void schedule_issue(Cycle when);
     void issue();
     void complete_mem(std::uint32_t warp, Cycle when);
+    std::uint32_t alloc_step_counter(std::uint32_t lines);
 
     std::uint32_t index_;
     FabricContext ctx_;
@@ -81,6 +82,17 @@ class Sm
     std::vector<WarpState> warps_;
     std::priority_queue<ReadyEntry, std::vector<ReadyEntry>, std::greater<>> ready_;
     std::uint32_t live_warps_ = 0;
+
+    /**
+     * Outstanding-line counters for in-flight memory steps, recycled
+     * through a free list. A slot index travels in each L1 response
+     * callback instead of a std::make_shared<uint32_t> counter, keeping
+     * the per-step capture trivially copyable and small enough for the
+     * std::function SSO buffer — the issue loop allocates nothing per
+     * step. Slots are released when the last line response arrives.
+     */
+    std::vector<std::uint32_t> step_counters_;
+    std::vector<std::uint32_t> counter_free_;
 
     /** True while an issue event is armed (dedup guard). */
     bool issue_pending_ = false;

@@ -163,9 +163,8 @@ MorpheusController::serve_predicted_miss(Cycle when, const MemRequest &req,
     // Figure 5 bottom timeline: a correctly predicted miss skips the NoC
     // round trip and the software tag lookup entirely.
     const Cycle fetched = conventional_->dram_fetch(when, req.line);
-    const std::uint32_t cache_sm = ext_->sm(ref.sm_slot).sm_id();
 
-    ctx_.eq->schedule(fetched, [this, when, req, ref, cache_sm, fetched,
+    ctx_.eq->schedule(fetched, [this, when, req, ref, fetched,
                                 resp = std::move(resp)]() mutable {
         std::uint64_t version = ctx_.store->read(req.line);
         bool dirty = false;
@@ -176,7 +175,6 @@ MorpheusController::serve_predicted_miss(Cycle when, const MemRequest &req,
 
         // Off the critical path: queue the block for insertion by the
         // owning kernel warp (shipped over the NoC at dequeue).
-        (void)cache_sm;
         ext_->sm(ref.sm_slot).enqueue_insert(fetched, ref.local_set, req.line, version, dirty);
 
         // Critical path: respond immediately with the fetched data.

@@ -4,7 +4,7 @@
 
 namespace morpheus {
 
-Crossbar::Crossbar(const NocParams &params) : params_(params)
+Crossbar::Crossbar(const NocParams &params) : params_(params), hop_cycles_(params.hop_latency)
 {
     sm_out_.resize(params_.sm_ports,
                    ThroughputPort::from_rate(params_.sm_link_bytes_per_cycle));
@@ -18,6 +18,7 @@ void
 Crossbar::set_frequency_scale(double scale)
 {
     freq_scale_ = scale;
+    hop_cycles_ = static_cast<Cycle>(static_cast<double>(params_.hop_latency) / freq_scale_);
     for (auto *group : {&sm_out_, &sm_in_}) {
         for (auto &port : *group)
             port.set_rate(params_.sm_link_bytes_per_cycle * scale);
@@ -39,8 +40,7 @@ Crossbar::transfer(Cycle now, ThroughputPort &src, ThroughputPort &dst,
     const std::uint32_t bytes = payload_bytes + params_.header_bytes;
     src.acquire(now, bytes);
     dst.acquire(now, bytes);
-    const Cycle hop = static_cast<Cycle>(static_cast<double>(params_.hop_latency) / freq_scale_);
-    const Cycle done = std::max(src.next_free(), dst.next_free()) + hop;
+    const Cycle done = std::max(src.next_free(), dst.next_free()) + hop_cycles_;
 
     ++transfers_;
     injected_bytes_ += bytes;

@@ -85,6 +85,9 @@ class Crossbar
 
     NocParams params_;
     double freq_scale_ = 1.0;
+    /** hop_latency / freq_scale_, precomputed: transfer() runs once per
+     *  NoC packet and should not pay a double division each time. */
+    Cycle hop_cycles_ = 0;
 
     std::vector<ThroughputPort> sm_out_;
     std::vector<ThroughputPort> sm_in_;

@@ -123,6 +123,42 @@ bm_bdi_round_trip()
     });
 }
 
+/** Deterministic pool of pre-synthesized blocks: the encode/decode split
+ *  entries measure the codec alone, without block synthesis in the loop. */
+std::vector<Block>
+bdi_block_pool()
+{
+    const BlockDataProfile profile{0.5, 0.4, 43};
+    std::vector<Block> blocks;
+    blocks.reserve(256);
+    for (std::uint64_t i = 0; i < 256; ++i)
+        blocks.push_back(synthesize_block(profile, i));
+    return blocks;
+}
+
+MicroResult
+bm_bdi_encode()
+{
+    const std::vector<Block> blocks = bdi_block_pool();
+    std::vector<std::uint8_t> encoded;
+    return time_op(1'000'000, [&](std::uint64_t i) {
+        do_not_optimize(bdi_encode(blocks[i & 255], encoded));
+    });
+}
+
+MicroResult
+bm_bdi_decode()
+{
+    const std::vector<Block> blocks = bdi_block_pool();
+    std::vector<BdiEncoding> encodings(256);
+    std::vector<std::vector<std::uint8_t>> payloads(256);
+    for (std::size_t i = 0; i < 256; ++i)
+        encodings[i] = bdi_encode(blocks[i], payloads[i]).encoding;
+    return time_op(1'000'000, [&](std::uint64_t i) {
+        do_not_optimize(bdi_decode(encodings[i & 255], payloads[i & 255]));
+    });
+}
+
 MicroResult
 bm_warp_tag_lookup()
 {
@@ -195,6 +231,22 @@ bm_event_queue()
 }
 
 MicroResult
+bm_event_queue_schedule_pop()
+{
+    // One schedule + one pop per op: the tightest possible probe of the
+    // calendar queue's two O(1) paths (bm_event_queue instead measures
+    // 64-event bursts drained by run()).
+    EventQueue eq;
+    std::uint64_t counter = 0;
+    auto r = time_op(4'000'000, [&](std::uint64_t i) {
+        eq.schedule_in(static_cast<Cycle>(i * 7 % 23), [&counter] { ++counter; });
+        eq.step();
+    });
+    do_not_optimize(counter);
+    return r;
+}
+
+MicroResult
 bm_zipf_sample()
 {
     ZipfSampler zipf(100'000, 0.8);
@@ -218,12 +270,15 @@ run_micro_components(const ScenarioOptions &opts)
     pool.submit("predictor_access", [] { return bm_predictor_access(); });
     pool.submit("bdi_compress", [] { return bm_bdi_compress(); });
     pool.submit("bdi_round_trip", [] { return bm_bdi_round_trip(); });
+    pool.submit("bdi_encode", [] { return bm_bdi_encode(); });
+    pool.submit("bdi_decode", [] { return bm_bdi_decode(); });
     pool.submit("warp_tag_lookup", [] { return bm_warp_tag_lookup(); });
     pool.submit("indirect_mov_read", [] { return bm_indirect_mov_read(); });
     pool.submit("cache_access", [] { return bm_cache_access(); });
     pool.submit("ext_set_insert_lookup/plain", [] { return bm_ext_set_insert_lookup(false); });
     pool.submit("ext_set_insert_lookup/comp", [] { return bm_ext_set_insert_lookup(true); });
     pool.submit("event_queue", [] { return bm_event_queue(); });
+    pool.submit("event_queue_schedule_pop", [] { return bm_event_queue_schedule_pop(); });
     pool.submit("zipf_sample", [] { return bm_zipf_sample(); });
     const auto results = pool.run_all();
 

@@ -1,29 +1,148 @@
 #include "sim/event_queue.hpp"
 
-#include <utility>
+#include <bit>
+#include <cassert>
 
 namespace morpheus {
 
 void
-EventQueue::schedule(Cycle when, Callback fn)
+EventQueue::grow_slab()
+{
+    slabs_.push_back(std::make_unique<Node[]>(kSlabNodes));
+    Node *chunk = slabs_.back().get();
+    // Thread the fresh slab onto the free list front-to-back so the first
+    // acquisitions walk it in address order.
+    for (std::size_t i = kSlabNodes; i-- > 0;) {
+        chunk[i].next = free_;
+        free_ = &chunk[i];
+    }
+}
+
+void
+EventQueue::enqueue(Cycle when, Node *n)
 {
     if (when < now_)
         when = now_;
-    heap_.push(Event{when, next_seq_++, std::move(fn)});
+    n->when = when;
+    n->seq = next_seq_++;
+    n->next = nullptr;
+    if (when < now_ + kRingCycles)
+        append_bucket(n);
+    else
+        spill_.push(n);
+}
+
+void
+EventQueue::append_bucket(Node *n)
+{
+    const std::size_t b = static_cast<std::size_t>(n->when) & kRingMask;
+    Bucket &bk = ring_[b];
+    if (bk.tail != nullptr) {
+        bk.tail->next = n;
+    } else {
+        bk.head = n;
+        occ_[b >> 6] |= 1ULL << (b & 63);
+        occ_summary_ |= 1ULL << (b >> 6);
+    }
+    bk.tail = n;
+    ++ring_count_;
+}
+
+EventQueue::Node *
+EventQueue::pop_bucket_front(Cycle t)
+{
+    const std::size_t b = static_cast<std::size_t>(t) & kRingMask;
+    Bucket &bk = ring_[b];
+    Node *n = bk.head;
+    assert(n != nullptr && n->when == t);
+    bk.head = n->next;
+    if (bk.head == nullptr) {
+        bk.tail = nullptr;
+        occ_[b >> 6] &= ~(1ULL << (b & 63));
+        if (occ_[b >> 6] == 0)
+            occ_summary_ &= ~(1ULL << (b >> 6));
+    }
+    --ring_count_;
+    return n;
+}
+
+Cycle
+EventQueue::next_ring_time() const
+{
+    // All ring events lie in [now_, now_ + kRingCycles), so the circular
+    // bucket distance from now_'s bucket equals the cycle distance.
+    assert(ring_count_ > 0);
+    const std::size_t b = static_cast<std::size_t>(now_) & kRingMask;
+    const std::size_t w = b >> 6;
+
+    // Bits at or after b inside b's own word.
+    std::uint64_t word = occ_[w] & (~0ULL << (b & 63));
+    if (word != 0)
+        return now_ + (((w << 6) + static_cast<std::size_t>(std::countr_zero(word))) - b);
+
+    // Next occupied word strictly after w, then wrapping around.
+    std::size_t w2;
+    std::uint64_t sum = occ_summary_ & ~((2ULL << w) - 1);
+    if (sum != 0) {
+        w2 = static_cast<std::size_t>(std::countr_zero(sum));
+        word = occ_[w2];
+    } else {
+        sum = occ_summary_ & ((2ULL << w) - 1);
+        assert(sum != 0);
+        w2 = static_cast<std::size_t>(std::countr_zero(sum));
+        word = occ_[w2];
+        if (w2 == w) // wrapped into b's word: only bits below b qualify
+            word &= (1ULL << (b & 63)) - 1;
+    }
+    const std::size_t idx = (w2 << 6) + static_cast<std::size_t>(std::countr_zero(word));
+    return now_ + ((idx - b) & kRingMask);
+}
+
+void
+EventQueue::refill_from_spill()
+{
+    // Drain every spill event whose time entered the ring window. The heap
+    // pops in (when, seq) order and buckets append FIFO, so refilled events
+    // land ahead of anything scheduled later at the same cycle — the global
+    // sequence order is preserved. Called immediately after now_ advances,
+    // before any callback at the new time runs.
+    const Cycle horizon = now_ + kRingCycles;
+    while (!spill_.empty() && spill_.top()->when < horizon) {
+        Node *n = spill_.top();
+        spill_.pop();
+        n->next = nullptr;
+        append_bucket(n);
+    }
 }
 
 bool
-EventQueue::step()
+EventQueue::step_bounded(Cycle limit)
 {
-    if (heap_.empty())
+    // Ring events always precede spill events: the spill invariant is
+    // when >= now_ + kRingCycles, beyond any ring resident.
+    Cycle t;
+    if (ring_count_ > 0)
+        t = next_ring_time();
+    else if (!spill_.empty())
+        t = spill_.top()->when;
+    else
         return false;
-    // priority_queue::top() returns const&; the callback must be moved out
-    // before pop() so it can run after the event leaves the heap.
-    Event ev = std::move(const_cast<Event &>(heap_.top()));
-    heap_.pop();
-    now_ = ev.when;
+    if (t > limit)
+        return false; // leave now_ at the last executed event
+
+    now_ = t;
+    if (!spill_.empty() && spill_.top()->when < now_ + kRingCycles)
+        refill_from_spill();
+
+    Node *n = pop_bucket_front(t);
     ++executed_;
-    ev.fn();
+    // The node is already unlinked and slab storage never moves, so the
+    // callback may freely schedule more events (even growing the slab)
+    // while it runs in place.
+    n->fn();
+    n->fn.reset();
+    n->next = free_;
+    free_ = n;
     return true;
 }
 
@@ -39,8 +158,8 @@ EventQueue::run_until(Cycle until)
 {
     // Note: when the queue drains before @p until, now() stays at the
     // last event time — callers read it as the completion time.
-    while (!heap_.empty() && heap_.top().when <= until)
-        step();
+    while (step_bounded(until)) {
+    }
 }
 
 } // namespace morpheus

@@ -1,11 +1,15 @@
 #ifndef MORPHEUS_SIM_EVENT_QUEUE_HPP_
 #define MORPHEUS_SIM_EVENT_QUEUE_HPP_
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
+#include <memory>
 #include <queue>
+#include <utility>
 #include <vector>
 
+#include "sim/event_fn.hpp"
 #include "sim/types.hpp"
 
 namespace morpheus {
@@ -18,13 +22,43 @@ namespace morpheus {
  * with ThroughputPort reservations. Events scheduled for the same cycle
  * run in FIFO order (a monotonically increasing sequence number breaks
  * ties), which keeps runs fully deterministic.
+ *
+ * Internally this is a bucketed *calendar queue* tuned for the
+ * simulator's traffic, which is overwhelmingly short-horizon (L1/NoC/
+ * issue-port continuations land within a few hundred cycles):
+ *
+ *  - Near-future events — `when < now + kRingCycles` — go into a
+ *    power-of-two ring of per-cycle buckets. Each bucket is an intrusive
+ *    FIFO list, so same-cycle events pop in schedule order, preserving
+ *    the sequence-number tie-break exactly. Occupied buckets are tracked
+ *    in a two-level bitmap, making "find the next event" a couple of
+ *    countr_zero ops instead of a heap sift. Schedule and pop are O(1).
+ *  - Far-future events overflow to a spill heap ordered by (when, seq).
+ *    Whenever the clock advances, spill events whose time has entered
+ *    the ring window are drained into their buckets — in (when, seq)
+ *    order, and always *before* the first callback at the new time runs,
+ *    so a callback that schedules more same-cycle work appends behind
+ *    any refilled event, keeping FIFO order global.
+ *
+ * Events live in slab-allocated nodes that are recycled through a free
+ * list, and callbacks are stored in EventFn's inline buffer, so
+ * steady-state scheduling performs no heap allocation at all. Nodes are
+ * owned (mutable) storage — popping moves nothing and needs no
+ * const_cast, unlike the previous std::priority_queue implementation
+ * whose top() could only be moved from by casting away const.
  */
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    /**
+     * Width of the near-future ring window in cycles (power of two).
+     * Events at `now + kRingCycles` or later take the spill-heap path.
+     */
+    static constexpr Cycle kRingCycles = 1024;
 
     EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
 
     /** Current simulated time. */
     Cycle now() const { return now_; }
@@ -32,23 +66,37 @@ class EventQueue
     /**
      * Schedules @p fn to run at absolute time @p when.
      * Scheduling in the past is clamped to "now" (the event still runs).
+     * @p fn's capture must fit EventFn::kInlineBytes (enforced at compile
+     * time) — scheduling never heap-allocates in steady state.
      */
-    void schedule(Cycle when, Callback fn);
+    template <typename F>
+    void
+    schedule(Cycle when, F &&fn)
+    {
+        Node *n = acquire_node();
+        n->fn.emplace(std::forward<F>(fn));
+        enqueue(when, n);
+    }
 
     /** Schedules @p fn to run @p delay cycles from now. */
-    void schedule_in(Cycle delay, Callback fn) { schedule(now_ + delay, std::move(fn)); }
+    template <typename F>
+    void
+    schedule_in(Cycle delay, F &&fn)
+    {
+        schedule(now_ + delay, std::forward<F>(fn));
+    }
 
     /** True when no events remain. */
-    bool empty() const { return heap_.empty(); }
+    bool empty() const { return ring_count_ == 0 && spill_.empty(); }
 
     /** Number of pending events. */
-    std::size_t pending() const { return heap_.size(); }
+    std::size_t pending() const { return ring_count_ + spill_.size(); }
 
     /**
      * Runs the earliest event, advancing time to it.
      * @return false if the queue was empty.
      */
-    bool step();
+    bool step() { return step_bounded(~Cycle{0}); }
 
     /** Runs events until the queue drains. */
     void run();
@@ -60,25 +108,62 @@ class EventQueue
     std::uint64_t executed() const { return executed_; }
 
   private:
-    struct Event
+    struct Node
     {
-        Cycle when;
-        std::uint64_t seq;
-        Callback fn;
+        Cycle when = 0;
+        std::uint64_t seq = 0;
+        Node *next = nullptr; ///< bucket FIFO / free-list link
+        EventFn fn;
     };
 
-    struct Later
+    /** Spill-heap order: earliest (when, seq) on top. */
+    struct SpillLater
     {
         bool
-        operator()(const Event &a, const Event &b) const
+        operator()(const Node *a, const Node *b) const
         {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
+            if (a->when != b->when)
+                return a->when > b->when;
+            return a->seq > b->seq;
         }
     };
 
-    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    struct Bucket
+    {
+        Node *head = nullptr;
+        Node *tail = nullptr;
+    };
+
+    static constexpr std::size_t kRingMask = static_cast<std::size_t>(kRingCycles) - 1;
+    static constexpr std::size_t kOccWords = static_cast<std::size_t>(kRingCycles) / 64;
+    static constexpr std::size_t kSlabNodes = 256;
+
+    Node *
+    acquire_node()
+    {
+        if (free_ == nullptr)
+            grow_slab();
+        Node *n = free_;
+        free_ = n->next;
+        return n;
+    }
+
+    void grow_slab();
+    void enqueue(Cycle when, Node *n);
+    void append_bucket(Node *n);
+    Node *pop_bucket_front(Cycle t);
+    Cycle next_ring_time() const;
+    void refill_from_spill();
+    bool step_bounded(Cycle limit);
+
+    std::array<Bucket, kRingCycles> ring_{};
+    /** Two-level occupancy bitmap over ring_: one bit per bucket, one summary bit per word. */
+    std::array<std::uint64_t, kOccWords> occ_{};
+    std::uint64_t occ_summary_ = 0;
+    std::size_t ring_count_ = 0;
+    std::priority_queue<Node *, std::vector<Node *>, SpillLater> spill_;
+    std::vector<std::unique_ptr<Node[]>> slabs_;
+    Node *free_ = nullptr;
     Cycle now_ = 0;
     std::uint64_t next_seq_ = 0;
     std::uint64_t executed_ = 0;

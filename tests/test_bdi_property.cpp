@@ -91,6 +91,206 @@ make_pattern(Rng &rng, std::uint32_t base_width, std::uint32_t delta_width)
     return block;
 }
 
+// ---------------------------------------------------------------------------
+// Reference encoder: a direct transcription of the original byte-at-a-time
+// implementation (pre word-load optimization). The production codec must
+// produce *bit-identical* encodings — compressed sizes feed the persisted
+// reports, so any drift would show up as a baseline regression.
+
+namespace reference {
+
+std::uint64_t
+read_le(const std::uint8_t *p, std::uint32_t width)
+{
+    std::uint64_t v = 0;
+    for (std::uint32_t i = 0; i < width; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+void
+write_le(std::uint8_t *p, std::uint64_t v, std::uint32_t width)
+{
+    for (std::uint32_t i = 0; i < width; ++i)
+        p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::int64_t
+sign_extend(std::uint64_t v, std::uint32_t width)
+{
+    const std::uint32_t shift = 64 - 8 * width;
+    return static_cast<std::int64_t>(v << shift) >> shift;
+}
+
+bool
+fits_signed(std::int64_t d, std::uint32_t width)
+{
+    const std::int64_t lo = -(1LL << (8 * width - 1));
+    const std::int64_t hi = (1LL << (8 * width - 1)) - 1;
+    return d >= lo && d <= hi;
+}
+
+std::int64_t
+wrap_sub(std::int64_t a, std::int64_t b)
+{
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) -
+                                     static_cast<std::uint64_t>(b));
+}
+
+struct Candidate
+{
+    BdiEncoding encoding;
+    std::uint32_t base_width;
+    std::uint32_t delta_width;
+};
+
+constexpr Candidate kCandidates[] = {
+    {BdiEncoding::kBase8Delta1, 8, 1}, {BdiEncoding::kBase4Delta1, 4, 1},
+    {BdiEncoding::kBase8Delta2, 8, 2}, {BdiEncoding::kBase2Delta1, 2, 1},
+    {BdiEncoding::kBase4Delta2, 4, 2}, {BdiEncoding::kBase8Delta4, 8, 4},
+};
+
+std::uint32_t
+candidate_size(std::uint32_t base_width, std::uint32_t delta_width)
+{
+    const std::uint32_t segments = kLineBytes / base_width;
+    return base_width + (segments + 7) / 8 + segments * delta_width;
+}
+
+bool
+try_candidate(const Block &block, const Candidate &cand, std::uint64_t &base,
+              std::vector<bool> &use_base)
+{
+    const std::uint32_t segments = kLineBytes / cand.base_width;
+    use_base.assign(segments, false);
+    bool have_base = false;
+    base = 0;
+
+    for (std::uint32_t s = 0; s < segments; ++s) {
+        const std::uint64_t raw = read_le(block.data() + s * cand.base_width, cand.base_width);
+        const std::int64_t value = sign_extend(raw, cand.base_width);
+        if (fits_signed(value, cand.delta_width))
+            continue;
+        if (!have_base) {
+            base = raw;
+            have_base = true;
+        }
+        const std::int64_t base_val = sign_extend(base, cand.base_width);
+        if (!fits_signed(wrap_sub(value, base_val), cand.delta_width))
+            return false;
+        use_base[s] = true;
+    }
+    return true;
+}
+
+BdiResult
+compress(const Block &block)
+{
+    bool all_zero = true;
+    for (auto b : block) {
+        if (b != 0) {
+            all_zero = false;
+            break;
+        }
+    }
+    if (all_zero)
+        return {BdiEncoding::kZeros, 1, CompLevel::kHigh};
+
+    bool repeated = true;
+    for (std::uint32_t i = 8; i < kLineBytes; ++i) {
+        if (block[i] != block[i % 8]) {
+            repeated = false;
+            break;
+        }
+    }
+    if (repeated)
+        return {BdiEncoding::kRepeat, 8, CompLevel::kHigh};
+
+    BdiResult best;
+    std::uint64_t base = 0;
+    std::vector<bool> use_base;
+    for (const auto &cand : kCandidates) {
+        const std::uint32_t size = candidate_size(cand.base_width, cand.delta_width);
+        if (size >= best.size_bytes)
+            continue;
+        if (try_candidate(block, cand, base, use_base)) {
+            best.encoding = cand.encoding;
+            best.size_bytes = size;
+        }
+    }
+    best.level = comp_level_for_size(best.size_bytes);
+    return best;
+}
+
+BdiResult
+encode(const Block &block, std::vector<std::uint8_t> &out)
+{
+    out.clear();
+    const BdiResult result = compress(block);
+    switch (result.encoding) {
+      case BdiEncoding::kZeros:
+        out.push_back(0);
+        return result;
+      case BdiEncoding::kRepeat:
+        out.resize(8);
+        std::memcpy(out.data(), block.data(), 8);
+        return result;
+      case BdiEncoding::kUncompressed:
+        out.assign(block.begin(), block.end());
+        return result;
+      default:
+        break;
+    }
+
+    std::uint32_t base_width = 0;
+    std::uint32_t delta_width = 0;
+    for (const auto &cand : kCandidates) {
+        if (cand.encoding == result.encoding) {
+            base_width = cand.base_width;
+            delta_width = cand.delta_width;
+            break;
+        }
+    }
+
+    std::uint64_t base = 0;
+    std::vector<bool> use_base;
+    try_candidate(block, {result.encoding, base_width, delta_width}, base, use_base);
+
+    const std::uint32_t segments = kLineBytes / base_width;
+    const std::uint32_t mask_bytes = (segments + 7) / 8;
+    out.resize(result.size_bytes, 0);
+    write_le(out.data(), base, base_width);
+    std::uint8_t *mask = out.data() + base_width;
+    std::uint8_t *deltas = mask + mask_bytes;
+    const std::int64_t base_val = sign_extend(base, base_width);
+    for (std::uint32_t s = 0; s < segments; ++s) {
+        const std::uint64_t raw = read_le(block.data() + s * base_width, base_width);
+        const std::int64_t value = sign_extend(raw, base_width);
+        const std::int64_t delta = use_base[s] ? wrap_sub(value, base_val) : value;
+        if (use_base[s])
+            mask[s / 8] |= static_cast<std::uint8_t>(1u << (s % 8));
+        write_le(deltas + s * delta_width, static_cast<std::uint64_t>(delta), delta_width);
+    }
+    return result;
+}
+
+} // namespace reference
+
+/** The production encoder must match the reference bit for bit. */
+void
+check_matches_reference(const Block &block)
+{
+    std::vector<std::uint8_t> got_bytes;
+    std::vector<std::uint8_t> ref_bytes;
+    const BdiResult got = bdi_encode(block, got_bytes);
+    const BdiResult ref = reference::encode(block, ref_bytes);
+    ASSERT_EQ(got.encoding, ref.encoding);
+    ASSERT_EQ(got.size_bytes, ref.size_bytes);
+    ASSERT_EQ(got.level, ref.level);
+    ASSERT_EQ(got_bytes, ref_bytes)
+        << "encoded bytes diverge for " << bdi_encoding_name(got.encoding);
+}
+
 /** The invariant: encode agrees with compress, and decode inverts it. */
 void
 check_round_trip(const Block &block)
@@ -109,6 +309,8 @@ check_round_trip(const Block &block)
     const Block decoded = bdi_decode(result.encoding, encoded);
     ASSERT_TRUE(std::memcmp(decoded.data(), block.data(), kLineBytes) == 0)
         << "round-trip mismatch for encoding " << bdi_encoding_name(result.encoding);
+
+    check_matches_reference(block);
 }
 
 } // namespace

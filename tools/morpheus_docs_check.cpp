@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Markdown link checker — the docs half of the CI regression gate.
+ *
+ * Scans README.md plus every .md file under docs/ and validates each
+ * inline markdown link `[text](target)`:
+ *
+ *  - `http(s)://` and `mailto:` targets are skipped (no network in CI).
+ *  - Relative targets must resolve to an existing file (checked after
+ *    stripping a `#fragment` suffix and a trailing `:LINE` / `#LNN`
+ *    source-anchor, so `src/sim/event_queue.hpp:42`-style references
+ *    stay valid).
+ *  - `#fragment`-only targets and fragments on .md targets must match a
+ *    heading in the referenced file (GitHub slug rules: lowercase,
+ *    punctuation dropped, spaces to dashes, duplicates suffixed -1, -2…).
+ *
+ * Exits 0 when the docs are clean, 1 otherwise; each broken link is
+ * reported as `file:line: message` so editors can jump straight to it.
+ *
+ * Usage: morpheus_docs_check [repo-root]   (default: current directory)
+ */
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Link
+{
+    std::string target;
+    std::size_t line;
+};
+
+/** GitHub-style heading slug: lowercase, keep '_', drop other punctuation,
+ *  spaces -> '-'. */
+std::string
+slugify(const std::string &heading)
+{
+    std::string slug;
+    for (char c : heading) {
+        const unsigned char u = static_cast<unsigned char>(c);
+        if (std::isalnum(u) || c == '_')
+            slug += static_cast<char>(std::tolower(u));
+        else if (c == ' ' || c == '-')
+            slug += '-';
+        // other punctuation is dropped
+    }
+    return slug;
+}
+
+/** Collects the anchor slugs of every `#`-style heading in a markdown file. */
+std::set<std::string>
+heading_anchors(const fs::path &file)
+{
+    std::set<std::string> anchors;
+    std::map<std::string, int> seen;
+    std::ifstream in(file);
+    std::string line;
+    bool in_fence = false;
+    while (std::getline(in, line)) {
+        if (line.rfind("```", 0) == 0) {
+            in_fence = !in_fence;
+            continue;
+        }
+        if (in_fence || line.empty() || line[0] != '#')
+            continue;
+        std::size_t level = line.find_first_not_of('#');
+        if (level == std::string::npos || level > 6 || line[level] != ' ')
+            continue;
+        std::string text = line.substr(level + 1);
+        // Strip inline code/links markers crudely: slugify drops them anyway
+        // except backticks which isalnum already excludes.
+        std::string slug = slugify(text);
+        const int n = seen[slug]++;
+        anchors.insert(n == 0 ? slug : slug + "-" + std::to_string(n));
+    }
+    return anchors;
+}
+
+/** Extracts inline `[text](target)` links, skipping fenced code blocks. */
+std::vector<Link>
+extract_links(const fs::path &file)
+{
+    std::vector<Link> links;
+    std::ifstream in(file);
+    std::string line;
+    std::size_t lineno = 0;
+    bool in_fence = false;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.rfind("```", 0) == 0) {
+            in_fence = !in_fence;
+            continue;
+        }
+        if (in_fence)
+            continue;
+        for (std::size_t pos = 0; (pos = line.find("](", pos)) != std::string::npos;) {
+            // Require a matching '[' before the "](" on the same line.
+            const std::size_t close_bracket = pos;
+            const std::size_t open_bracket = line.rfind('[', close_bracket);
+            pos += 2;
+            if (open_bracket == std::string::npos)
+                continue;
+            const std::size_t end = line.find(')', pos);
+            if (end == std::string::npos)
+                continue;
+            links.push_back(Link{line.substr(pos, end - pos), lineno});
+            pos = end + 1;
+        }
+    }
+    return links;
+}
+
+/** Strips a trailing `:123` line anchor (file:line references). */
+std::string
+strip_line_anchor(const std::string &path)
+{
+    const std::size_t colon = path.rfind(':');
+    if (colon == std::string::npos || colon + 1 >= path.size())
+        return path;
+    const std::string suffix = path.substr(colon + 1);
+    if (std::all_of(suffix.begin(), suffix.end(),
+                    [](unsigned char c) { return std::isdigit(c); }))
+        return path.substr(0, colon);
+    return path;
+}
+
+/** True when @p fragment is an `L<line>` or `L<a>-L<b>` source anchor. */
+bool
+is_source_line_fragment(const std::string &fragment)
+{
+    if (fragment.size() < 2 || fragment[0] != 'L')
+        return false;
+    return std::all_of(fragment.begin() + 1, fragment.end(), [](unsigned char c) {
+        return std::isdigit(c) || c == 'L' || c == '-';
+    });
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const fs::path root = argc > 1 ? fs::path(argv[1]) : fs::path(".");
+    if (!fs::exists(root / "README.md")) {
+        std::cerr << "morpheus_docs_check: no README.md under '" << root.string()
+                  << "' — pass the repo root as the first argument\n";
+        return 1;
+    }
+
+    std::vector<fs::path> files = {root / "README.md"};
+    if (fs::exists(root / "docs")) {
+        for (const auto &entry : fs::recursive_directory_iterator(root / "docs")) {
+            if (entry.is_regular_file() && entry.path().extension() == ".md")
+                files.push_back(entry.path());
+        }
+    }
+    std::sort(files.begin(), files.end());
+
+    int broken = 0;
+    int checked = 0;
+    for (const auto &file : files) {
+        const fs::path base = file.parent_path();
+        for (const auto &link : extract_links(file)) {
+            const std::string &target = link.target;
+            if (target.rfind("http://", 0) == 0 || target.rfind("https://", 0) == 0 ||
+                target.rfind("mailto:", 0) == 0)
+                continue;
+            ++checked;
+
+            std::string path_part = target;
+            std::string fragment;
+            const std::size_t hash = target.find('#');
+            if (hash != std::string::npos) {
+                path_part = target.substr(0, hash);
+                fragment = target.substr(hash + 1);
+            }
+
+            fs::path resolved;
+            if (path_part.empty()) {
+                resolved = file; // in-page anchor
+            } else {
+                resolved = base / strip_line_anchor(path_part);
+                if (!fs::exists(resolved)) {
+                    std::cerr << file.string() << ":" << link.line << ": broken link '"
+                              << target << "' (no such file: " << resolved.string() << ")\n";
+                    ++broken;
+                    continue;
+                }
+            }
+
+            if (!fragment.empty() && resolved.extension() == ".md" &&
+                !is_source_line_fragment(fragment)) {
+                const auto anchors = heading_anchors(resolved);
+                if (anchors.count(fragment) == 0) {
+                    std::cerr << file.string() << ":" << link.line << ": broken anchor '#"
+                              << fragment << "' (no matching heading in "
+                              << resolved.filename().string() << ")\n";
+                    ++broken;
+                }
+            }
+        }
+    }
+
+    std::cout << "morpheus_docs_check: " << files.size() << " files, " << checked
+              << " relative links, " << broken << " broken\n";
+    return broken != 0 ? 1 : 0;
+}
