@@ -5,9 +5,12 @@
  *
  * Usage:
  *   morpheus_cli <app> [system] [compute_sms] [cache_sms]
+ *                [--checkpoint FILE [--checkpoint-every N]]
+ *   morpheus_cli --restore FILE
  *   morpheus_cli --list
  *   morpheus_cli --scenario <name> [--jobs N] [--format text|csv|json]
- *                [--trace FILE] [--output FILE]
+ *                [--trace FILE] [--output FILE] [--fault-plan SPEC]
+ *                [--journal PATH] [--resume] [--timeout-ms N] [--retries N]
  *   morpheus_cli --all [--jobs N] [--format text|csv|json]
  *                [--output-dir DIR]
  *
@@ -25,6 +28,16 @@
  * per scenario into --output-dir (the regression-gate input for
  * morpheus_bench_diff). --trace points the trace_replay scenario at a
  * specific .mtrc file (docs/TRACE_FORMAT.md; default: bench/traces/).
+ * The fault-tolerance flags (--fault-plan, --journal, --resume,
+ * --timeout-ms, --retries) are described in docs/ARCHITECTURE.md
+ * "Reliability".
+ *
+ * App mode can snapshot the simulation: --checkpoint FILE writes a .mchk
+ * checkpoint (docs/CHECKPOINT_FORMAT.md) — by default once, when the run
+ * completes; --checkpoint-every N rewrites it every N cycles so a killed
+ * run loses at most N cycles of progress. --restore FILE completes a run
+ * from such a checkpoint; its output is bit-identical to the
+ * uninterrupted run's.
  *
  * Examples:
  *   morpheus_cli kmeans                 # kmeans on Morpheus-ALL
@@ -35,12 +48,15 @@
  *   morpheus_cli --scenario fig12_performance --output out.json
  *   morpheus_cli --all --output-dir reports/
  */
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <vector>
 
+#include "harness/checkpoint.hpp"
 #include "harness/runner.hpp"
 #include "harness/scenario.hpp"
 #include "harness/table.hpp"
@@ -78,15 +94,100 @@ parse_system(const char *name, SystemKind &out)
     return false;
 }
 
+/** Classic dynamic-programming edit distance (small strings only). */
+std::size_t
+edit_distance(const std::string &a, const std::string &b)
+{
+    std::vector<std::size_t> row(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        row[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        std::size_t diag = row[0];
+        row[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            const std::size_t subst = diag + (a[i - 1] != b[j - 1] ? 1 : 0);
+            diag = row[j];
+            row[j] = std::min({row[j] + 1, row[j - 1] + 1, subst});
+        }
+    }
+    return row[b.size()];
+}
+
+/** The closest candidate within an edit distance of 3, or empty — a
+ *  typo'd name gets a "did you mean" instead of a bare error. */
+std::string
+closest_match(const std::string &name, const std::vector<std::string> &candidates)
+{
+    std::string best;
+    std::size_t best_dist = 4;
+    for (const auto &c : candidates) {
+        const std::size_t d = edit_distance(name, c);
+        if (d < best_dist) {
+            best_dist = d;
+            best = c;
+        }
+    }
+    return best;
+}
+
+std::vector<std::string>
+scenario_names()
+{
+    std::vector<std::string> names;
+    for (const auto &s : scenario_registry())
+        names.push_back(s.name);
+    return names;
+}
+
+std::vector<std::string>
+app_names()
+{
+    std::vector<std::string> names;
+    for (const auto &app : app_catalog())
+        names.push_back(app.params.name);
+    return names;
+}
+
+void
+suggest(const char *kind, const std::string &name, const std::vector<std::string> &candidates)
+{
+    const std::string near = closest_match(name, candidates);
+    if (near.empty())
+        std::fprintf(stderr, "unknown %s '%s'\n", kind, name.c_str());
+    else
+        std::fprintf(stderr, "unknown %s '%s' (did you mean '%s'?)\n", kind, name.c_str(),
+                     near.c_str());
+}
+
+/** Strict u32 parse for the positional SM-count arguments. */
+bool
+parse_u32(const char *arg, const char *what, std::uint32_t &out)
+{
+    char *end = nullptr;
+    const long v = std::strtol(arg, &end, 10);
+    if (end == arg || *end != '\0' || v < 0) {
+        std::fprintf(stderr, "invalid %s '%s' (expected a non-negative integer)\n", what, arg);
+        return false;
+    }
+    out = static_cast<std::uint32_t>(v);
+    return true;
+}
+
+/** Prints the full metric table of one run (app and --restore modes). */
+void print_result(const RunResult &r);
+
 void
 usage()
 {
     std::fprintf(stderr,
                  "usage: morpheus_cli <app> [BL|IBL|IBL4X|FREQ|UNIFIED|BASIC|COMPR|MOV|ALL|"
-                 "LARGER] [compute_sms cache_sms]\n"
+                 "LARGER] [compute_sms cache_sms]"
+                 " [--checkpoint FILE [--checkpoint-every N]]\n"
+                 "       morpheus_cli --restore FILE\n"
                  "       morpheus_cli --list\n"
                  "       morpheus_cli --scenario <name> [--jobs N] [--format text|csv|json]"
-                 " [--trace FILE] [--output FILE]\n"
+                 " [--trace FILE] [--output FILE] [--fault-plan SPEC] [--journal PATH]"
+                 " [--resume] [--timeout-ms N] [--retries N]\n"
                  "       morpheus_cli --all [--jobs N] [--format text|csv|json]"
                  " [--output-dir DIR]\n"
                  "apps:");
@@ -118,7 +219,8 @@ main(int argc, char **argv)
         }
         const Scenario *s = find_scenario(argv[2]);
         if (!s) {
-            std::fprintf(stderr, "unknown scenario '%s'; --list shows all\n", argv[2]);
+            suggest("scenario", argv[2], scenario_names());
+            std::fprintf(stderr, "--list shows all scenarios\n");
             return 2;
         }
         // Reuse the shared flag parser; it sees only the trailing options.
@@ -130,34 +232,108 @@ main(int argc, char **argv)
         // sees only the trailing options.
         return scenario_all_main(argc - 1, argv + 1);
     }
+    if (std::strcmp(argv[1], "--restore") == 0) {
+        if (argc != 3) {
+            usage();
+            return 2;
+        }
+        Checkpoint ck;
+        std::string error;
+        if (!load_checkpoint(argv[2], ck, error)) {
+            std::fprintf(stderr, "%s\n", error.c_str());
+            return 1;
+        }
+        const RunResult r = restore_run(ck);
+        std::printf("%s restored from %s (cycle %llu%s)\n\n", r.workload.c_str(), argv[2],
+                    static_cast<unsigned long long>(ck.cycle),
+                    ck.is_final() ? ", final" : "");
+        print_result(r);
+        return 0;
+    }
+
     const AppSpec *app = find_app(argv[1]);
     if (!app) {
-        std::fprintf(stderr, "unknown app '%s'\n", argv[1]);
+        suggest("app", argv[1], app_names());
         usage();
         return 2;
     }
 
+    // Positionals first (system, then the SM split), flags afterwards.
+    int pos = 2;
     SystemKind kind = SystemKind::kMorpheusAll;
-    if (argc >= 3 && !parse_system(argv[2], kind)) {
-        std::fprintf(stderr, "unknown system '%s'\n", argv[2]);
-        usage();
-        return 2;
+    if (pos < argc && argv[pos][0] != '-') {
+        if (!parse_system(argv[pos], kind)) {
+            std::fprintf(stderr, "unknown system '%s'\n", argv[pos]);
+            usage();
+            return 2;
+        }
+        ++pos;
     }
 
     SystemSetup setup = make_system(kind, *app);
-    if (argc >= 5) {
-        const auto compute = static_cast<std::uint32_t>(std::atoi(argv[3]));
-        const auto cache = static_cast<std::uint32_t>(std::atoi(argv[4]));
+    if (pos < argc && argv[pos][0] != '-') {
+        std::uint32_t compute = 0;
+        std::uint32_t cache = 0;
+        if (pos + 1 >= argc || argv[pos + 1][0] == '-') {
+            std::fprintf(stderr, "compute_sms needs a matching cache_sms\n");
+            usage();
+            return 2;
+        }
+        if (!parse_u32(argv[pos], "compute_sms", compute) ||
+            !parse_u32(argv[pos + 1], "cache_sms", cache))
+            return 2;
         setup.compute_sms = compute;
         setup.morpheus.enabled = cache > 0;
         setup.morpheus.cache_sms = cache;
+        pos += 2;
     }
 
-    const RunResult r = run_setup(setup, app->params);
+    std::string checkpoint_path;
+    Cycle checkpoint_every = 0;
+    for (int i = pos; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--checkpoint") == 0 && i + 1 < argc) {
+            checkpoint_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--checkpoint-every") == 0 && i + 1 < argc) {
+            char *end = nullptr;
+            const unsigned long long v = std::strtoull(argv[i + 1], &end, 10);
+            if (end == argv[i + 1] || *end != '\0' || v == 0) {
+                std::fprintf(stderr, "invalid --checkpoint-every '%s' (expected N >= 1)\n",
+                             argv[i + 1]);
+                return 2;
+            }
+            checkpoint_every = v;
+            ++i;
+        } else {
+            std::fprintf(stderr, "unknown argument '%s'\n", argv[i]);
+            usage();
+            return 2;
+        }
+    }
+    if (checkpoint_every > 0 && checkpoint_path.empty()) {
+        std::fprintf(stderr, "--checkpoint-every requires --checkpoint FILE\n");
+        return 2;
+    }
+
+    RunResult r;
+    if (!checkpoint_path.empty()) {
+        // Default cadence: one (final) checkpoint when the run completes.
+        const Cycle every = checkpoint_every > 0 ? checkpoint_every : setup.cfg.max_cycles;
+        r = run_setup_checkpointed(setup, app->params, every, checkpoint_path);
+    } else {
+        r = run_setup(setup, app->params);
+    }
 
     std::printf("%s on %s (%u compute + %u cache SMs)\n\n", app->params.name.c_str(),
                 system_name(kind), setup.compute_sms, setup.morpheus.cache_sms);
+    print_result(r);
+    return 0;
+}
 
+namespace {
+
+void
+print_result(const RunResult &r)
+{
     Table table({"metric", "value"});
     table.add_row({"cycles", std::to_string(r.cycles)});
     table.add_row({"instructions", std::to_string(r.instructions)});
@@ -192,5 +368,6 @@ main(int argc, char **argv)
     table.add_row({"avg power", fmt(r.avg_watts, 1) + " W"});
     table.add_row({"perf/W (IPC per watt)", fmt(r.perf_per_watt, 3)});
     table.print();
-    return 0;
 }
+
+} // namespace

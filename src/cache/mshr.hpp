@@ -88,6 +88,44 @@ class MshrTable
     std::size_t peak_occupancy() const { return peak_; }
     ///@}
 
+    /**
+     * Checkpoint state. Waiter closures are opaque, so the entry table is
+     * digest-only coverage: the writer records outstanding lines (sorted)
+     * and waiter counts; the reader discards them, leaving the fresh
+     * table empty. Direct restore therefore requires a drained table
+     * (final checkpoints); mid-run restore goes through replay, which
+     * rebuilds entries naturally. Counters restore for real.
+     */
+    template <class A>
+    void
+    state(A &ar)
+    {
+        if constexpr (A::kIsWriter) {
+            std::vector<LineAddr> lines;
+            lines.reserve(entries_.size());
+            for (const auto &kv : entries_)
+                lines.push_back(kv.first);
+            std::sort(lines.begin(), lines.end());
+            ar.shadow(entries_.size());
+            for (LineAddr line : lines) {
+                ar.shadow(line);
+                ar.shadow(entries_.at(line).size());
+            }
+        } else {
+            std::uint64_t n = 0;
+            ar.field(n);
+            for (std::uint64_t i = 0; i < n; ++i) {
+                ar.shadow(0);
+                ar.shadow(0);
+            }
+        }
+        ar.field(allocated_);
+        ar.field(merged_);
+        std::uint64_t peak = peak_;
+        ar.field(peak);
+        peak_ = static_cast<std::size_t>(peak);
+    }
+
   private:
     std::size_t max_entries_;
     std::unordered_map<LineAddr, std::vector<Waiter>> entries_;

@@ -47,6 +47,15 @@ class ReplacementState
 
     ReplacementKind kind() const { return kind_; }
 
+    /** Checkpoint state; the policy kind is configuration. */
+    template <class A>
+    void
+    state(A &ar)
+    {
+        ar.field(clock_);
+        ar.vec(stamp_);
+    }
+
   private:
     ReplacementKind kind_;
     std::uint64_t clock_ = 0;

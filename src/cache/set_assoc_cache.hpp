@@ -114,6 +114,21 @@ class SetAssocCache
     std::uint64_t writebacks() const { return writebacks_; }
     ///@}
 
+    /** Checkpoint state: tags, replacement state, and counters. Geometry
+     *  (sets/ways/indexing) is configuration and must already match. */
+    template <class A>
+    void
+    state(A &ar)
+    {
+        ar.objs(lines_);
+        ar.objs(repl_);
+        ar.field(hits_);
+        ar.field(misses_);
+        ar.field(fills_);
+        ar.field(evictions_);
+        ar.field(writebacks_);
+    }
+
   private:
     struct Line
     {
@@ -121,6 +136,16 @@ class SetAssocCache
         bool valid = false;
         bool dirty = false;
         std::uint64_t version = 0;
+
+        template <class A>
+        void
+        state(A &ar)
+        {
+            ar.field(line);
+            ar.field(valid);
+            ar.field(dirty);
+            ar.field(version);
+        }
     };
 
     Line &line_at(std::uint32_t set, std::uint32_t way) { return lines_[set * ways_ + way]; }

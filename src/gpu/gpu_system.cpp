@@ -1,9 +1,14 @@
 #include "gpu/gpu_system.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
 
 #include "morpheus/address_separator.hpp"
 #include "morpheus/morpheus_controller.hpp"
+#include "sim/state_io.hpp"
 
 namespace morpheus {
 namespace {
@@ -98,11 +103,103 @@ GpuSystem::to_llc(Cycle when, const MemRequest &req, RespFn resp)
 RunResult
 GpuSystem::run()
 {
+    return run(RunControls{});
+}
+
+void
+GpuSystem::begin()
+{
     workload_.configure(setup_.compute_sms);
     for (auto &sm : sms_)
         sm->start();
-    eq_.run_until(setup_.cfg.max_cycles);
+}
+
+RunResult
+GpuSystem::run(const RunControls &rc)
+{
+    begin();
+    // The fault event is scheduled after every SM's initial issue event,
+    // so it shifts all later sequence numbers uniformly — relative event
+    // order (and thus determinism of the surviving work) is unaffected.
+    if (rc.fault != RunFault::kNone && rc.fault_cycle > 0)
+        eq_.schedule(rc.fault_cycle, [this, &rc] { trigger_fault(rc); });
+
+    const Cycle target = setup_.cfg.max_cycles;
+    if (rc.checkpoint_every == 0) {
+        eq_.run_until(target, rc.cancel);
+    } else {
+        // Chunked execution is bit-identical to one run_until(target):
+        // nothing enqueues between chunks, and run_until leaves now() at
+        // the last executed event.
+        for (Cycle boundary = rc.checkpoint_every;; boundary += rc.checkpoint_every) {
+            const Cycle stop = std::min(boundary, target);
+            eq_.run_until(stop, rc.cancel);
+            const bool final = eq_.empty();
+            if (rc.on_checkpoint)
+                rc.on_checkpoint(*this, stop, final);
+            if (final || stop == target)
+                break;
+        }
+    }
     return collect();
+}
+
+void
+GpuSystem::trigger_fault(const RunControls &rc)
+{
+    switch (rc.fault) {
+    case RunFault::kThrow:
+        throw InjectedFault("injected fault: throw in run");
+    case RunFault::kAbort:
+        std::abort();
+    case RunFault::kHang:
+        // Spin until the watchdog cancels us; without a token this would
+        // hang for real, which is exactly what the fault models.
+        while (!(rc.cancel != nullptr && rc.cancel->load(std::memory_order_relaxed)))
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        throw SimulationCancelled("injected hang cancelled");
+    case RunFault::kNone:
+        break;
+    }
+}
+
+template <class A>
+void
+GpuSystem::state_impl(A &ar)
+{
+    // Fixed traversal order — this IS the .mchk state layout. Keep in
+    // sync with docs/CHECKPOINT_FORMAT.md.
+    ar.obj(eq_);
+    ar.obj(energy_);
+    ar.obj(noc_);
+    ar.obj(dram_);
+    ar.obj(store_);
+    for (auto &part : partitions_)
+        part->state(ar);
+    if (ext_)
+        ext_->state(ar);
+    for (auto &ctl : controllers_)
+        ctl->state(ar);
+    for (auto &sm : sms_)
+        sm->state(ar);
+    if constexpr (A::kIsWriter)
+        workload_.checkpoint_state(ar);
+    else
+        workload_.restore_state(ar);
+}
+
+void
+GpuSystem::save_state(StateWriter &w)
+{
+    state_impl(w);
+}
+
+void
+GpuSystem::load_state(StateReader &r)
+{
+    state_impl(r);
+    if (!r.done())
+        throw StateError("checkpoint: trailing bytes after component state");
 }
 
 RunResult

@@ -1,8 +1,11 @@
 #ifndef MORPHEUS_GPU_GPU_SYSTEM_HPP_
 #define MORPHEUS_GPU_GPU_SYSTEM_HPP_
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -23,6 +26,47 @@ namespace morpheus {
 
 class MorpheusController;
 class ExtendedLlc;
+class GpuSystem;
+
+/** In-run fault kinds injectable through RunControls (FaultPlan). */
+enum class RunFault : std::uint8_t
+{
+    kNone,
+    kThrow,  ///< throw InjectedFault out of the event loop
+    kHang,   ///< spin (polling the cancel token) — exercises the watchdog
+    kAbort,  ///< std::abort() — exercises SIGKILL-grade recovery paths
+};
+
+/** Thrown by an injected kThrow fault. */
+class InjectedFault : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * Optional controls for GpuSystem::run: periodic checkpoint capture,
+ * cooperative cancellation (watchdog timeouts), and deterministic in-run
+ * fault injection. Default-constructed controls reproduce the plain run()
+ * byte for byte — the chunked event loop is bit-identical to an unchunked
+ * one, and the cancel poll only adds atomic loads.
+ */
+struct RunControls
+{
+    /** Capture a checkpoint every N cycles (0 = never). */
+    Cycle checkpoint_every = 0;
+
+    /** Called at each checkpoint boundary; @p final is true when the run
+     *  completed (event queue drained) at or before the boundary. */
+    std::function<void(GpuSystem &sys, Cycle boundary, bool final)> on_checkpoint;
+
+    /** Cooperative cancellation token (see EventQueue::run_until). */
+    const std::atomic<bool> *cancel = nullptr;
+
+    /** Inject @p fault when the clock reaches this cycle (0 = never). */
+    Cycle fault_cycle = 0;
+    RunFault fault = RunFault::kNone;
+};
 
 /** Morpheus-specific knobs of a system configuration. */
 struct MorpheusOptions
@@ -91,6 +135,47 @@ struct RunResult
     EnergyBreakdown energy{};
     double avg_watts = 0;
     double perf_per_watt = 0;  ///< IPC / W
+
+    /** Serialization for the sweep journal (resume after SIGKILL): every
+     *  field travels, doubles as bit patterns, so a journaled result is
+     *  byte-identical to a recomputed one. */
+    template <class A>
+    void
+    state(A &ar)
+    {
+        ar.str(workload);
+        ar.field(cycles);
+        ar.field(instructions);
+        ar.field(ipc);
+        ar.field(l1_hits);
+        ar.field(l1_misses);
+        ar.field(llc_accesses);
+        ar.field(llc_hits);
+        ar.field(llc_misses);
+        ar.field(ext_requests);
+        ar.field(ext_predicted_hits);
+        ar.field(ext_predicted_misses);
+        ar.field(ext_hits);
+        ar.field(ext_misses);
+        ar.field(ext_false_positives);
+        ar.field(ext_capacity_bytes);
+        ar.field(ext_hit_latency);
+        ar.field(ext_miss_latency);
+        ar.field(pred_miss_latency);
+        ar.field(conv_hit_latency);
+        ar.field(conv_miss_latency);
+        ar.field(dram_reads);
+        ar.field(dram_writes);
+        ar.field(dram_utilization);
+        ar.field(noc_injection_rate);
+        ar.field(noc_avg_latency);
+        ar.field(noc_bytes);
+        ar.field(llc_throughput);
+        ar.field(mpki);
+        ar.obj(energy);
+        ar.field(avg_watts);
+        ar.field(perf_per_watt);
+    }
 };
 
 /**
@@ -110,6 +195,24 @@ class GpuSystem : public LlcRouter
 
     /** Runs the workload to completion and gathers all statistics. */
     RunResult run();
+
+    /** run() with checkpoint/cancellation/fault controls. */
+    RunResult run(const RunControls &rc);
+
+    /**
+     * @name Checkpoint/restore (docs/CHECKPOINT_FORMAT.md)
+     * begin() arms the workload and the SMs without running — the restore
+     * path uses it to replay a checkpoint prefix through event_queue()
+     * directly. save_state()/load_state() serialize the component tree in
+     * a fixed order; collect_results() derives the RunResult from the
+     * (restored) component state.
+     */
+    ///@{
+    void begin();
+    void save_state(StateWriter &w);
+    void load_state(StateReader &r);
+    RunResult collect_results() { return collect(); }
+    ///@}
 
     // LlcRouter
     void to_llc(Cycle when, const MemRequest &req, RespFn resp) override;
@@ -134,6 +237,10 @@ class GpuSystem : public LlcRouter
 
   private:
     RunResult collect();
+    void trigger_fault(const RunControls &rc);
+
+    template <class A>
+    void state_impl(A &ar);
 
     SystemSetup setup_;
     Workload &workload_;

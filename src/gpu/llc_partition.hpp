@@ -65,6 +65,19 @@ class LlcPartition
     const Accumulator &miss_latency() const { return miss_latency_; }
     ///@}
 
+    /** Checkpoint state. */
+    template <class A>
+    void
+    state(A &ar)
+    {
+        ar.obj(cache_);
+        ar.obj(banks_);
+        ar.obj(mshrs_);
+        ar.field(accesses_);
+        ar.obj(hit_latency_);
+        ar.obj(miss_latency_);
+    }
+
   private:
     /** Performs the lookup once a bank granted service. */
     void lookup(Cycle when, const MemRequest &req, RespFn resp);

@@ -1,0 +1,278 @@
+#include "harness/checkpoint.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "sim/state_io.hpp"
+
+namespace morpheus {
+namespace {
+
+/**
+ * Meta-blob serialization: every knob of SystemSetup and WorkloadParams,
+ * through the same writer/reader archives as component state. One
+ * template per struct keeps the two directions mirror-proof.
+ */
+
+template <class A>
+void
+state_noc_params(A &ar, NocParams &p)
+{
+    ar.field(p.sm_ports);
+    ar.field(p.partition_ports);
+    ar.field(p.sm_link_bytes_per_cycle);
+    ar.field(p.partition_link_bytes_per_cycle);
+    ar.field(p.hop_latency);
+    ar.field(p.header_bytes);
+}
+
+template <class A>
+void
+state_dram_params(A &ar, DramParams &p)
+{
+    ar.field(p.channels);
+    ar.field(p.bytes_per_cycle_per_channel);
+    ar.field(p.banks_per_channel);
+    ar.field(p.row_hit_latency);
+    ar.field(p.row_miss_latency);
+    ar.field(p.lines_per_row);
+    ar.field(p.bank_occupancy);
+}
+
+template <class A>
+void
+state_energy_params(A &ar, EnergyParams &p)
+{
+    ar.field(p.instr_pj);
+    ar.field(p.l1_pj_per_byte);
+    ar.field(p.llc_pj_per_byte);
+    ar.field(p.dram_pj_per_byte);
+    ar.field(p.noc_pj_per_byte);
+    ar.field(p.rf_pj_per_byte);
+    ar.field(p.smem_pj_per_byte);
+    ar.field(p.sm_static_w);
+    ar.field(p.sm_gated_w);
+    ar.field(p.mem_static_w);
+    ar.field(p.base_static_w);
+    ar.field(p.controller_overhead_frac);
+}
+
+template <class A>
+void
+state_ext_params(A &ar, ExtLlcParams &p)
+{
+    ar.field(p.rf_warps);
+    ar.field(p.l1_warps);
+    ar.field(p.smem_warps);
+    ar.field(p.compression);
+    ar.field(p.hw_indirect_mov);
+    ar.field(p.bloom_bits_per_entry);
+    ar.field(p.bloom_probes);
+    ar.field(p.issue_width);
+    ar.field(p.epoch_cycles);
+    ar.field(p.tag_lookup_instrs);
+    ar.field(p.respond_instrs);
+    ar.field(p.evict_instrs);
+    ar.field(p.atomic_instrs);
+    ar.field(p.l1_forward_instrs);
+    ar.field(p.compress_instrs);
+    ar.field(p.decompress_low_instrs);
+    ar.field(p.decompress_high_instrs);
+    ar.field(p.service_overhead);
+    ar.field(p.rf_latency);
+    ar.field(p.smem_latency);
+    ar.field(p.l1_latency);
+}
+
+template <class A>
+void
+state_gpu_config(A &ar, GpuConfig &c)
+{
+    ar.field(c.num_sms);
+    ar.field(c.warps_per_sm);
+    ar.field(c.issue_width);
+    ar.field(c.warp_mem_credits);
+    ar.field(c.l1_bytes);
+    ar.field(c.l1_ways);
+    ar.field(c.l1_latency);
+    ar.field(c.l1_mshrs);
+    ar.field(c.rf_bytes);
+    ar.field(c.llc_partitions);
+    ar.field(c.llc_bytes);
+    ar.field(c.llc_ways);
+    ar.field(c.llc_latency);
+    ar.field(c.llc_banks);
+    ar.field(c.llc_bank_occupancy);
+    state_noc_params(ar, c.noc);
+    state_dram_params(ar, c.dram);
+    ar.field(c.mem_frequency_scale);
+    ar.field(c.blocking_writes);
+    ar.field(c.max_cycles);
+}
+
+template <class A>
+void
+state_setup(A &ar, SystemSetup &s)
+{
+    state_gpu_config(ar, s.cfg);
+    ar.field(s.compute_sms);
+    ar.field(s.morpheus.enabled);
+    ar.field(s.morpheus.cache_sms);
+    state_ext_params(ar, s.morpheus.kernel);
+    ar.field(s.morpheus.prediction);
+    ar.field(s.l1_bonus_bytes);
+    state_energy_params(ar, s.energy);
+}
+
+template <class A>
+void
+state_workload_params(A &ar, WorkloadParams &p)
+{
+    ar.str(p.name);
+    ar.field(p.memory_bound);
+    ar.field(p.pattern);
+    ar.field(p.alu_per_mem);
+    ar.field(p.lines_per_mem);
+    ar.field(p.shared_ws_bytes);
+    ar.field(p.per_warp_ws_bytes);
+    ar.field(p.private_frac);
+    ar.field(p.reuse_frac);
+    ar.field(p.hot_frac);
+    ar.field(p.zipf_alpha);
+    ar.field(p.write_frac);
+    ar.field(p.atomic_frac);
+    ar.field(p.warps_per_sm);
+    ar.field(p.total_mem_instrs);
+    ar.field(p.stencil_row);
+    ar.field(p.tile_lines);
+    ar.field(p.tile_reuse);
+    ar.field(p.data.high_frac);
+    ar.field(p.data.low_frac);
+    ar.field(p.data.seed);
+    ar.field(p.seed);
+}
+
+/** Fixed on-disk header, 56 bytes, all fields little-endian. */
+struct DiskHeader
+{
+    std::uint32_t magic = Checkpoint::kMagic;
+    std::uint32_t format_version = Checkpoint::kFormatVersion;
+    std::uint64_t flags = 0;
+    std::uint64_t cycle = 0;
+    std::uint64_t meta_size = 0;
+    std::uint64_t state_size = 0;
+    std::uint64_t state_digest = 0;
+    std::uint64_t reserved = 0;
+};
+static_assert(sizeof(DiskHeader) == 56, "header layout is part of the format");
+
+bool
+fail(std::string &error, const std::string &message)
+{
+    error = message;
+    return false;
+}
+
+} // namespace
+
+Checkpoint
+capture_checkpoint(GpuSystem &sys, const WorkloadParams &params, Cycle cycle, bool final)
+{
+    Checkpoint ck;
+    ck.setup = sys.setup();
+    ck.params = params;
+    ck.cycle = cycle;
+    ck.flags = final ? Checkpoint::kFlagFinal : 0;
+    StateWriter w;
+    sys.save_state(w);
+    ck.state = w.bytes();
+    return ck;
+}
+
+bool
+save_checkpoint(const std::string &path, const Checkpoint &ck, std::string &error)
+{
+    StateWriter meta;
+    SystemSetup setup = ck.setup;
+    WorkloadParams params = ck.params;
+    state_setup(meta, setup);
+    state_workload_params(meta, params);
+
+    DiskHeader hdr;
+    hdr.flags = ck.flags;
+    hdr.cycle = ck.cycle;
+    hdr.meta_size = meta.bytes().size();
+    hdr.state_size = ck.state.size();
+    hdr.state_digest = fnv1a64(ck.state);
+
+    const std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr)
+        return fail(error, "cannot open " + tmp + " for writing");
+    bool ok = std::fwrite(&hdr, sizeof hdr, 1, f) == 1;
+    ok = ok && (meta.bytes().empty() ||
+                std::fwrite(meta.bytes().data(), meta.bytes().size(), 1, f) == 1);
+    ok = ok && (ck.state.empty() || std::fwrite(ck.state.data(), ck.state.size(), 1, f) == 1);
+    ok = std::fclose(f) == 0 && ok;
+    if (!ok) {
+        std::remove(tmp.c_str());
+        return fail(error, "short write to " + tmp);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return fail(error, "cannot rename " + tmp + " to " + path);
+    }
+    return true;
+}
+
+bool
+load_checkpoint(const std::string &path, Checkpoint &ck, std::string &error)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        return fail(error, "cannot open " + path);
+    std::string bytes;
+    char buf[65536];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        bytes.append(buf, n);
+    const bool read_ok = std::ferror(f) == 0;
+    std::fclose(f);
+    if (!read_ok)
+        return fail(error, "read error on " + path);
+
+    if (bytes.size() < sizeof(DiskHeader))
+        return fail(error, path + ": truncated header");
+    DiskHeader hdr;
+    std::memcpy(&hdr, bytes.data(), sizeof hdr);
+    if (hdr.magic != Checkpoint::kMagic)
+        return fail(error, path + ": not a .mchk file (bad magic)");
+    if (hdr.format_version != Checkpoint::kFormatVersion)
+        return fail(error, path + ": format version " + std::to_string(hdr.format_version) +
+                               " (expected " + std::to_string(Checkpoint::kFormatVersion) +
+                               "); re-capture the checkpoint");
+    const std::size_t body = bytes.size() - sizeof hdr;
+    if (hdr.meta_size > body || hdr.state_size > body - hdr.meta_size)
+        return fail(error, path + ": section sizes exceed file size");
+    if (hdr.meta_size + hdr.state_size != body)
+        return fail(error, path + ": trailing bytes after state section");
+
+    ck.flags = hdr.flags;
+    ck.cycle = hdr.cycle;
+    const char *meta_begin = bytes.data() + sizeof hdr;
+    try {
+        StateReader meta(std::string_view(meta_begin, static_cast<std::size_t>(hdr.meta_size)));
+        state_setup(meta, ck.setup);
+        state_workload_params(meta, ck.params);
+        if (!meta.done())
+            return fail(error, path + ": trailing bytes in meta section");
+    } catch (const StateError &e) {
+        return fail(error, path + ": bad meta section: " + e.what());
+    }
+    ck.state.assign(meta_begin + hdr.meta_size, static_cast<std::size_t>(hdr.state_size));
+    if (fnv1a64(ck.state) != hdr.state_digest)
+        return fail(error, path + ": state digest mismatch (corrupt file)");
+    return true;
+}
+
+} // namespace morpheus

@@ -1,0 +1,76 @@
+#ifndef MORPHEUS_HARNESS_CHECKPOINT_HPP_
+#define MORPHEUS_HARNESS_CHECKPOINT_HPP_
+
+/**
+ * @file
+ * The versioned .mchk checkpoint container (docs/CHECKPOINT_FORMAT.md).
+ *
+ * Layout: a fixed self-identifying header (magic + format version, in the
+ * style of a version-stamped on-disk cache header — a stale version id
+ * invalidates old files wholesale), followed by a *meta* blob (the
+ * SystemSetup and WorkloadParams that rebuild an identical system) and
+ * the *state* blob (the GpuSystem component tree serialized by
+ * save_state()). The header carries an FNV-1a-64 digest of the state
+ * blob; load verifies it, so corruption fails loudly.
+ *
+ * Restore semantics (see restore_run in runner.hpp):
+ *  - a *final* checkpoint (flags bit 0) was captured after the event
+ *    queue drained: the state is loaded directly into a freshly built
+ *    system and the RunResult is collected from it;
+ *  - a mid-run checkpoint is restored by deterministic prefix replay:
+ *    rebuild the system from the meta blob, replay cycles [0, cycle],
+ *    verify the re-serialized state is byte-identical to the stored
+ *    blob, then continue to completion. Pending events are thereby
+ *    re-registered by the components themselves instead of being
+ *    serialized as closures.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "gpu/gpu_system.hpp"
+#include "workloads/synthetic_workload.hpp"
+
+namespace morpheus {
+
+/** An in-memory .mchk checkpoint. */
+struct Checkpoint
+{
+    /** "MCHK" little-endian. */
+    static constexpr std::uint32_t kMagic = 0x4B48434DU;
+
+    /** Bump on ANY layout change — header, meta, or state encoding. Old
+     *  files then fail load instead of silently misreading. */
+    static constexpr std::uint32_t kFormatVersion = 1;
+
+    /** Header flag bits. */
+    static constexpr std::uint64_t kFlagFinal = 1;  ///< queue drained at capture
+
+    SystemSetup setup{};
+    WorkloadParams params{};
+    std::uint64_t flags = 0;
+    Cycle cycle = 0;        ///< capture boundary (run_until target)
+    std::string state;      ///< GpuSystem::save_state bytes
+
+    bool is_final() const { return (flags & kFlagFinal) != 0; }
+};
+
+/** Captures @p sys (which runs @p params) at boundary @p cycle. */
+Checkpoint capture_checkpoint(GpuSystem &sys, const WorkloadParams &params, Cycle cycle,
+                              bool final);
+
+/**
+ * Writes @p ck to @p path atomically (temp file + rename).
+ * @return false with @p error set on I/O failure.
+ */
+bool save_checkpoint(const std::string &path, const Checkpoint &ck, std::string &error);
+
+/**
+ * Reads and validates @p path: magic, format version, section sizes, and
+ * the state digest. @return false with @p error set on any mismatch.
+ */
+bool load_checkpoint(const std::string &path, Checkpoint &ck, std::string &error);
+
+} // namespace morpheus
+
+#endif // MORPHEUS_HARNESS_CHECKPOINT_HPP_

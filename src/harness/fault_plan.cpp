@@ -1,0 +1,103 @@
+#include "harness/fault_plan.hpp"
+
+#include <cstdlib>
+
+namespace morpheus {
+namespace {
+
+bool
+fail(std::string &error, const std::string &message)
+{
+    error = "fault plan: " + message;
+    return false;
+}
+
+/** Parses "key=<u64>" from @p field into @p out; empty key = any key. */
+bool
+parse_kv(const std::string &field, const char *key, std::uint64_t &out)
+{
+    const std::string prefix = std::string(key) + "=";
+    if (field.compare(0, prefix.size(), prefix) != 0)
+        return false;
+    const char *digits = field.c_str() + prefix.size();
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(digits, &end, 10);
+    if (end == digits || *end != '\0')
+        return false;
+    out = v;
+    return true;
+}
+
+} // namespace
+
+std::size_t
+FaultPlan::resolve_index(std::size_t njobs) const
+{
+    if (njobs == 0)
+        return 0;
+    if (by_seed)
+        return static_cast<std::size_t>(mix64(seed) % njobs);
+    return run_index % njobs;
+}
+
+bool
+parse_fault_plan(const std::string &spec, FaultPlan &out, std::string &error)
+{
+    if (spec.empty() || spec == "none") {
+        out = FaultPlan{};
+        return true;
+    }
+
+    FaultPlan plan;
+    const std::size_t at = spec.find('@');
+    const std::string action = spec.substr(0, at);
+    if (action == "throw")
+        plan.action = RunFault::kThrow;
+    else if (action == "hang")
+        plan.action = RunFault::kHang;
+    else if (action == "abort")
+        plan.action = RunFault::kAbort;
+    else
+        return fail(error, "unknown action '" + action + "' (throw|hang|abort|none)");
+    if (at == std::string::npos)
+        return fail(error, "missing '@run=K' or '@seed=S' target");
+
+    bool have_target = false;
+    std::size_t pos = at + 1;
+    while (pos <= spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        const std::string field = spec.substr(pos, comma - pos);
+        std::uint64_t v = 0;
+        if (parse_kv(field, "run", v)) {
+            if (have_target)
+                return fail(error, "duplicate target in '" + spec + "'");
+            plan.run_index = static_cast<std::size_t>(v);
+            plan.by_seed = false;
+            have_target = true;
+        } else if (parse_kv(field, "seed", v)) {
+            if (have_target)
+                return fail(error, "duplicate target in '" + spec + "'");
+            plan.seed = v;
+            plan.by_seed = true;
+            have_target = true;
+        } else if (parse_kv(field, "cycle", v)) {
+            plan.cycle = v;
+        } else if (parse_kv(field, "times", v)) {
+            if (v == 0)
+                return fail(error, "times must be >= 1");
+            plan.times = static_cast<unsigned>(v);
+        } else {
+            return fail(error, "bad field '" + field + "' (run=K|seed=S|cycle=C|times=T)");
+        }
+        pos = comma + 1;
+    }
+    if (!have_target)
+        return fail(error, "missing 'run=K' or 'seed=S' target");
+
+    out = plan;
+    return true;
+}
+
+} // namespace morpheus

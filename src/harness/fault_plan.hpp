@@ -1,0 +1,57 @@
+#ifndef MORPHEUS_HARNESS_FAULT_PLAN_HPP_
+#define MORPHEUS_HARNESS_FAULT_PLAN_HPP_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "gpu/gpu_system.hpp"
+
+namespace morpheus {
+
+/**
+ * A deterministic fault-injection plan for the SweepEngine
+ * (`--fault-plan`, docs/ARCHITECTURE.md "Reliability"). Grammar:
+ *
+ *     none
+ *     <throw|hang|abort>@run=K[,cycle=C][,times=T]
+ *     <throw|hang|abort>@seed=S[,cycle=C][,times=T]
+ *
+ *  - `run=K` targets submission index K (modulo the job count);
+ *    `seed=S` derives the target index from S, so sweeps of any shape
+ *    can be fault-tested without knowing their size.
+ *  - `cycle=C` injects *inside* the simulation when the clock reaches C
+ *    (through RunControls); cycle 0 (the default) fails in the harness
+ *    before the run starts.
+ *  - `times=T` makes the first T attempts of the target job fail
+ *    (default 1). T <= the engine's retry budget means the sweep
+ *    recovers — and must produce output byte-identical to a clean run;
+ *    T > the budget degrades the job to a `failed` report entry.
+ *
+ * The plan is pure data derived from the spec string: the same spec on
+ * the same sweep always faults the same attempt of the same job.
+ */
+struct FaultPlan
+{
+    RunFault action = RunFault::kNone;
+    bool by_seed = false;
+    std::uint64_t seed = 0;
+    std::size_t run_index = 0;
+    Cycle cycle = 0;    ///< 0 = harness-level (before the run starts)
+    unsigned times = 1; ///< attempts of the target job that fail
+
+    bool active() const { return action != RunFault::kNone; }
+
+    /** The submission index the plan targets in a sweep of @p njobs. */
+    std::size_t resolve_index(std::size_t njobs) const;
+};
+
+/**
+ * Parses @p spec into @p out. @return false with @p error set (and @p out
+ * untouched) on any grammar violation.
+ */
+bool parse_fault_plan(const std::string &spec, FaultPlan &out, std::string &error);
+
+} // namespace morpheus
+
+#endif // MORPHEUS_HARNESS_FAULT_PLAN_HPP_

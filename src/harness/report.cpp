@@ -86,12 +86,15 @@ struct JsonValue
     std::vector<JsonValue> array;
     std::vector<std::pair<std::string, JsonValue>> object;
 
+    /** Last match wins: a duplicate key overrides earlier ones, the
+     *  conventional JSON-parser behavior, instead of silently shadowing
+     *  the later (usually hand-edited) value. */
     const JsonValue *
     get(const std::string &key) const
     {
-        for (const auto &kv : object) {
-            if (kv.first == key)
-                return &kv.second;
+        for (auto it = object.rbegin(); it != object.rend(); ++it) {
+            if (it->first == key)
+                return &it->second;
         }
         return nullptr;
     }
@@ -144,6 +147,11 @@ class JsonParser
         return true;
     }
 
+    /** Nesting bound: BENCH files are 3 levels deep; anything past this
+     *  is hostile or corrupt input, rejected before the recursive-descent
+     *  parser can exhaust the stack. */
+    static constexpr int kMaxDepth = 64;
+
     bool
     value(JsonValue &out)
     {
@@ -178,10 +186,13 @@ class JsonParser
     object(JsonValue &out)
     {
         out.type = JsonValue::Type::kObject;
+        if (++depth_ > kMaxDepth)
+            return fail("nesting too deep");
         ++p_; // '{'
         skip_ws();
         if (p_ != end_ && *p_ == '}') {
             ++p_;
+            --depth_;
             return true;
         }
         while (true) {
@@ -207,6 +218,7 @@ class JsonParser
             }
             if (*p_ == '}') {
                 ++p_;
+                --depth_;
                 return true;
             }
             return fail("expected ',' or '}' in object");
@@ -217,10 +229,13 @@ class JsonParser
     array(JsonValue &out)
     {
         out.type = JsonValue::Type::kArray;
+        if (++depth_ > kMaxDepth)
+            return fail("nesting too deep");
         ++p_; // '['
         skip_ws();
         if (p_ != end_ && *p_ == ']') {
             ++p_;
+            --depth_;
             return true;
         }
         while (true) {
@@ -238,6 +253,7 @@ class JsonParser
             }
             if (*p_ == ']') {
                 ++p_;
+                --depth_;
                 return true;
             }
             return fail("expected ',' or ']' in array");
@@ -316,10 +332,17 @@ class JsonParser
     bool
     number(double &out)
     {
+        // strtod accepts "inf"/"nan"/hex-floats, none of which is JSON;
+        // gate on the grammar's first character and reject non-finite
+        // results (overflowed exponents) after the fact.
+        if (*p_ != '-' && (*p_ < '0' || *p_ > '9'))
+            return fail("expected a JSON value");
         char *end = nullptr;
         out = std::strtod(p_, &end);
         if (end == p_)
             return fail("expected a JSON value");
+        if (!std::isfinite(out))
+            return fail("number out of range (JSON has no inf/nan)");
         p_ = end;
         return true;
     }
@@ -327,6 +350,7 @@ class JsonParser
     const char *p_;
     const char *begin_;
     const char *end_;
+    int depth_ = 0;
     std::string error_;
 };
 
@@ -371,7 +395,9 @@ RunReport::RunReport(std::string scenario) : scenario_(std::move(scenario)) {}
 ReportEntry &
 RunReport::add_entry(std::string label)
 {
-    entries_.push_back(ReportEntry{std::move(label), {}});
+    ReportEntry entry;
+    entry.label = std::move(label);
+    entries_.push_back(std::move(entry));
     return entries_.back();
 }
 
@@ -426,6 +452,24 @@ RunReport::add_run(const std::string &label, const RunResult &r)
     add("perf_per_watt", r.perf_per_watt);
 }
 
+void
+RunReport::add_failed(const std::string &label, const std::string &error)
+{
+    ReportEntry &e = add_entry(label);
+    e.status = "failed";
+    e.error = error;
+}
+
+bool
+RunReport::has_failures() const
+{
+    for (const auto &e : entries_) {
+        if (!e.ok())
+            return true;
+    }
+    return false;
+}
+
 const ReportEntry *
 RunReport::find_entry(const std::string &label) const
 {
@@ -456,6 +500,12 @@ RunReport::write_json(std::ostream &os) const
         const ReportEntry &e = entries_[i];
         os << (i ? ",\n" : "\n") << "    {\"label\": ";
         write_string(os, e.label);
+        os << ", \"status\": ";
+        write_string(os, e.status);
+        if (!e.ok()) {
+            os << ", \"error\": ";
+            write_string(os, e.error);
+        }
         os << ", \"metrics\": {";
         for (std::size_t m = 0; m < e.metrics.size(); ++m) {
             os << (m ? ", " : "");
@@ -527,6 +577,13 @@ RunReport::parse_json(const std::string &text, RunReport &out, std::string &erro
             return false;
         }
         ReportEntry &e = out.add_entry(label->string);
+        // v1 files have no "status": every entry was an ok run.
+        if (const JsonValue *status = je.get("status");
+            status && status->type == JsonValue::Type::kString)
+            e.status = status->string;
+        if (const JsonValue *err = je.get("error");
+            err && err->type == JsonValue::Type::kString)
+            e.error = err->string;
         for (const auto &kv : metrics->object) {
             if (kv.second.type != JsonValue::Type::kNumber &&
                 kv.second.type != JsonValue::Type::kNull) {
@@ -534,7 +591,7 @@ RunReport::parse_json(const std::string &text, RunReport &out, std::string &erro
                         "\" is not a number";
                 return false;
             }
-            e.metrics.push_back(Metric{kv.first, kv.second.number});
+            e.set(kv.first, kv.second.number); // set(): a duplicate key wins over its earlier twin
         }
     }
     return true;
@@ -586,7 +643,8 @@ reports_identical(const RunReport &a, const RunReport &b)
     for (std::size_t i = 0; i < a.entries().size(); ++i) {
         const ReportEntry &ea = a.entries()[i];
         const ReportEntry &eb = b.entries()[i];
-        if (ea.label != eb.label || ea.metrics.size() != eb.metrics.size())
+        if (ea.label != eb.label || ea.status != eb.status || ea.error != eb.error ||
+            ea.metrics.size() != eb.metrics.size())
             return false;
         for (std::size_t m = 0; m < ea.metrics.size(); ++m) {
             if (ea.metrics[m].name != eb.metrics[m].name ||
@@ -692,6 +750,17 @@ diff_reports(const RunReport &baseline, const RunReport &candidate, const DiffOp
             f.label = b.label;
             f.message = "entry " + std::to_string(i) + " label changed: baseline '" + b.label +
                         "' vs candidate '" + c.label + "'";
+            result.findings.push_back(std::move(f));
+            continue;
+        }
+        if (b.status != c.status) {
+            DiffFinding f;
+            f.kind = DiffFinding::Kind::kValue;
+            f.label = b.label;
+            f.metric = "status";
+            f.message = "'" + b.label + "' status changed: baseline '" + b.status +
+                        "' vs candidate '" + c.status + "'" +
+                        (c.ok() ? "" : " (" + c.error + ")");
             result.findings.push_back(std::move(f));
             continue;
         }

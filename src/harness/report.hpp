@@ -23,8 +23,11 @@ struct RunResult;
 
 /** Bump on any backwards-incompatible change to the JSON layout
  *  (renamed/removed fields, changed units). Adding metrics is compatible
- *  and does NOT bump the version; see docs/REPORT_SCHEMA.md. */
-inline constexpr int kReportSchemaVersion = 1;
+ *  and does NOT bump the version; see docs/REPORT_SCHEMA.md.
+ *  v2: entries carry a "status" ("ok"/"failed") and, when failed, an
+ *  "error" string — a fault-tolerant sweep records what it could not
+ *  compute instead of dropping the grid point. */
+inline constexpr int kReportSchemaVersion = 2;
 
 /** One named measurement of one sweep job. */
 struct Metric
@@ -37,7 +40,13 @@ struct Metric
 struct ReportEntry
 {
     std::string label;
+    /** "ok" or "failed" (timed out / threw after the retry budget). */
+    std::string status = "ok";
+    /** Human-readable failure cause; empty when ok. */
+    std::string error;
     std::vector<Metric> metrics;  ///< insertion order is serialization order
+
+    bool ok() const { return status == "ok"; }
 
     /** Appends (or overwrites, when @p name exists) one metric. */
     void set(const std::string &name, double value);
@@ -90,6 +99,13 @@ class RunReport
 
     /** Appends one entry holding the standard metric set of @p r. */
     void add_run(const std::string &label, const RunResult &r);
+
+    /** Appends a `failed` entry (graceful degradation: the sweep kept
+     *  going, this grid point could not be computed). */
+    void add_failed(const std::string &label, const std::string &error);
+
+    /** True when any entry is failed (scenario exit code kExitDegraded). */
+    bool has_failures() const;
 
     const std::vector<ReportEntry> &entries() const { return entries_; }
     bool empty() const { return entries_.empty(); }

@@ -1,6 +1,7 @@
 #ifndef MORPHEUS_HARNESS_RUNNER_HPP_
 #define MORPHEUS_HARNESS_RUNNER_HPP_
 
+#include <string>
 #include <vector>
 
 #include "harness/system_config.hpp"
@@ -18,6 +19,32 @@ RunResult run_workload(const SystemSetup &setup, Workload &workload);
 
 /** Runs @p params on a freshly built @p setup and returns all metrics. */
 RunResult run_setup(const SystemSetup &setup, const WorkloadParams &params);
+
+/**
+ * run_setup with RunControls (checkpoint capture, cancellation, fault
+ * injection). Default controls are byte-identical to run_setup.
+ */
+RunResult run_setup_controlled(const SystemSetup &setup, const WorkloadParams &params,
+                               const RunControls &rc);
+
+/**
+ * Runs @p params on @p setup, writing a .mchk checkpoint to @p path every
+ * @p every cycles (each capture overwrites the previous one; the last is
+ * marked final when the run completed at that boundary).
+ */
+RunResult run_setup_checkpointed(const SystemSetup &setup, const WorkloadParams &params,
+                                 Cycle every, const std::string &path);
+
+struct Checkpoint;
+
+/**
+ * Completes a run from checkpoint @p ck (docs/CHECKPOINT_FORMAT.md):
+ * final checkpoints restore state directly; mid-run checkpoints replay
+ * cycles [0, ck.cycle], verify byte-identical state against the stored
+ * blob (throws StateError on mismatch), and continue to completion. The
+ * returned RunResult is bit-identical to the uninterrupted run's.
+ */
+RunResult restore_run(const Checkpoint &ck);
 
 /** Runs @p app on system @p kind (Table 3 SM splits applied). */
 RunResult run_system(SystemKind kind, const AppSpec &app);

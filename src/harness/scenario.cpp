@@ -41,13 +41,24 @@ run_scenario_with_report(const Scenario &s, ScenarioOptions opts, const std::str
     opts.report = &report;
 
     const auto begin = std::chrono::steady_clock::now();
-    const int rc = s.run(opts);
+    int rc = s.run(opts);
     const auto end = std::chrono::steady_clock::now();
     report.set_wall_ms(
         std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(end - begin)
             .count());
 
-    if (rc != 0 || output_path.empty())
+    // Graceful degradation: failed sweep jobs surface as kExitDegraded,
+    // and the report (which records WHAT failed) is still persisted.
+    if (rc == 0 && report.has_failures()) {
+        for (const auto &e : report.entries()) {
+            if (!e.ok())
+                std::fprintf(stderr, "job '%s' failed: %s\n", e.label.c_str(),
+                             e.error.c_str());
+        }
+        rc = kExitDegraded;
+    }
+
+    if ((rc != 0 && rc != kExitDegraded) || output_path.empty())
         return rc;
 
     std::string error;
@@ -57,7 +68,7 @@ run_scenario_with_report(const Scenario &s, ScenarioOptions opts, const std::str
     }
     std::fprintf(stderr, "wrote %s (%zu entries)\n", output_path.c_str(),
                  report.entries().size());
-    return 0;
+    return rc;
 }
 
 int
@@ -97,7 +108,8 @@ run_all_scenarios(const ScenarioOptions &opts, const std::string &output_dir)
         if (!output_dir.empty())
             path = output_dir + "/" + RunReport::default_filename(s.name);
         const int one = run_scenario_with_report(s, opts, path);
-        if (rc == 0)
+        // Hard failures dominate degraded, degraded dominates success.
+        if (one != 0 && (rc == 0 || (rc == kExitDegraded && one != kExitDegraded)))
             rc = one;
         if (opts.format == TableFormat::kText)
             os << '\n';
@@ -130,6 +142,19 @@ parse_jobs_value(const char *arg, unsigned &out)
  * (after printing a usage line) on any invalid flag.
  */
 bool
+parse_u64_value(const char *arg, const char *flag, std::uint64_t &out)
+{
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(arg, &end, 10);
+    if (end == arg || *end != '\0') {
+        std::fprintf(stderr, "invalid %s value '%s' (expected an integer)\n", flag, arg);
+        return false;
+    }
+    out = v;
+    return true;
+}
+
+bool
 parse_scenario_flags(int argc, char **argv, const char *path_flag, ScenarioOptions &opts,
                      std::string &path)
 {
@@ -144,15 +169,38 @@ parse_scenario_flags(int argc, char **argv, const char *path_flag, ScenarioOptio
             }
         } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
             opts.trace_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--fault-plan") == 0 && i + 1 < argc) {
+            std::string error;
+            if (!parse_fault_plan(argv[++i], opts.fault, error)) {
+                std::fprintf(stderr, "%s\n", error.c_str());
+                return false;
+            }
+        } else if (std::strcmp(argv[i], "--journal") == 0 && i + 1 < argc) {
+            opts.journal_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--resume") == 0) {
+            opts.resume = true;
+        } else if (std::strcmp(argv[i], "--timeout-ms") == 0 && i + 1 < argc) {
+            if (!parse_u64_value(argv[++i], "--timeout-ms", opts.timeout_ms))
+                return false;
+        } else if (std::strcmp(argv[i], "--retries") == 0 && i + 1 < argc) {
+            std::uint64_t v = 0;
+            if (!parse_u64_value(argv[++i], "--retries", v))
+                return false;
+            opts.retries = static_cast<unsigned>(v);
         } else if (std::strcmp(argv[i], path_flag) == 0 && i + 1 < argc) {
             path = argv[++i];
         } else {
             std::fprintf(stderr,
                          "usage: %s [--jobs N] [--format text|csv|json] [--trace FILE] "
-                         "[%s PATH]\n",
+                         "[--fault-plan SPEC] [--journal PATH] [--resume] [--timeout-ms N] "
+                         "[--retries N] [%s PATH]\n",
                          argv[0], path_flag);
             return false;
         }
+    }
+    if (opts.resume && opts.journal_path.empty()) {
+        std::fprintf(stderr, "--resume requires --journal PATH\n");
+        return false;
     }
     return true;
 }

@@ -1,15 +1,22 @@
 #ifndef MORPHEUS_HARNESS_SCENARIO_HPP_
 #define MORPHEUS_HARNESS_SCENARIO_HPP_
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
 
+#include "harness/fault_plan.hpp"
 #include "harness/table.hpp"
 
 namespace morpheus {
 
 class RunReport;
+
+/** Exit code of a scenario that finished but had failed sweep jobs: the
+ *  report was still written (with `failed` entries), distinct from both
+ *  success (0) and hard failure (1) / usage error (2). */
+inline constexpr int kExitDegraded = 3;
 
 /** Options shared by every registered experiment scenario. */
 struct ScenarioOptions
@@ -28,6 +35,18 @@ struct ScenarioOptions
      * $MORPHEUS_TRACE_DIR, ./bench/traces, or ../bench/traces.
      */
     std::string trace_path;
+
+    /** @name Fault tolerance (SweepEngine::configure)
+     * `--fault-plan SPEC`, `--journal PATH`, `--resume`,
+     * `--timeout-ms N`, `--retries N`.
+     */
+    ///@{
+    FaultPlan fault;
+    std::string journal_path;
+    bool resume = false;
+    std::uint64_t timeout_ms = 0;
+    unsigned retries = 1;
+    ///@}
 };
 
 /** One runnable experiment (a paper figure/table or an example sweep). */

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <optional>
@@ -11,11 +12,13 @@
 #include <utility>
 #include <vector>
 
+#include "harness/fault_plan.hpp"
 #include "harness/runner.hpp"
 
 namespace morpheus {
 
 class RunReport;
+struct ScenarioOptions;
 
 /**
  * Worker count used when a sweep does not pin one explicitly: the
@@ -32,6 +35,17 @@ struct Labeled
     R value{};
 };
 
+/** What happened to one submitted task: exactly one of value/error set. */
+template <typename R>
+struct TaskOutcome
+{
+    std::string label;
+    std::optional<R> value;
+    std::exception_ptr error;
+
+    bool ok() const { return value.has_value(); }
+};
+
 /**
  * An ordered fan-out pool: submit labeled tasks, run them on up to N
  * worker threads, and collect the results **in submission order**, so a
@@ -42,9 +56,11 @@ struct Labeled
  * state inside GpuSystem/SyntheticWorkload instances, and its only
  * global — the app catalog — is immutable after construction).
  *
- * Exceptions thrown by tasks are captured per job and rethrown (lowest
- * submission index first) after all workers join, so failure behavior is
- * deterministic too.
+ * Exceptions thrown by tasks are captured per job; run_all() rethrows
+ * them (lowest submission index first) after all workers join, so
+ * failure behavior is deterministic too, while run_all_outcomes() hands
+ * every captured error back for per-job handling (the fault-tolerant
+ * SweepEngine path).
  */
 template <typename R>
 class ParallelRunner
@@ -67,12 +83,13 @@ class ParallelRunner
     }
 
     /**
-     * Runs every submitted task and returns the results in submission
-     * order. The task list is consumed; the runner can be reused for a
-     * new batch afterwards.
+     * Runs every submitted task and returns one outcome per task, in
+     * submission order — a task that threw yields its exception_ptr
+     * instead of a value, and never affects its siblings. The task list
+     * is consumed; the runner can be reused for a new batch afterwards.
      */
-    std::vector<Labeled<R>>
-    run_all()
+    std::vector<TaskOutcome<R>>
+    run_all_outcomes()
     {
         const std::size_t n = tasks_.size();
         std::vector<std::optional<R>> slots(n);
@@ -97,16 +114,35 @@ class ParallelRunner
                 t.join();
         }
 
+        std::vector<TaskOutcome<R>> outcomes(n);
         for (std::size_t i = 0; i < n; ++i) {
+            outcomes[i].label = std::move(tasks_[i].label);
             if (errors[i])
-                std::rethrow_exception(errors[i]);
+                outcomes[i].error = errors[i];
+            else
+                outcomes[i].value = std::move(slots[i]);
         }
-
-        std::vector<Labeled<R>> results;
-        results.reserve(n);
-        for (std::size_t i = 0; i < n; ++i)
-            results.push_back(Labeled<R>{std::move(tasks_[i].label), std::move(*slots[i])});
         tasks_.clear();
+        return outcomes;
+    }
+
+    /**
+     * Runs every submitted task and returns the results in submission
+     * order; the first (lowest-index) captured exception is rethrown
+     * after all workers join.
+     */
+    std::vector<Labeled<R>>
+    run_all()
+    {
+        auto outcomes = run_all_outcomes();
+        for (auto &o : outcomes) {
+            if (o.error)
+                std::rethrow_exception(o.error);
+        }
+        std::vector<Labeled<R>> results;
+        results.reserve(outcomes.size());
+        for (auto &o : outcomes)
+            results.push_back(Labeled<R>{std::move(o.label), std::move(*o.value)});
         return results;
     }
 
@@ -145,11 +181,47 @@ struct SweepJob
 bool run_results_identical(const RunResult &a, const RunResult &b);
 
 /**
+ * Fault-tolerance knobs of one sweep (docs/ARCHITECTURE.md
+ * "Reliability"). Default-constructed config reproduces the classic
+ * engine: no journal, no watchdog, exceptions rethrown.
+ */
+struct SweepConfig
+{
+    /** Deterministic fault injection (tests, CI drills). */
+    FaultPlan fault;
+
+    /** Append-only completion journal; empty disables journaling. */
+    std::string journal_path;
+
+    /** Skip jobs already recorded in the journal (crash recovery). */
+    bool resume = false;
+
+    /** Per-attempt wall-clock watchdog; 0 disables. A run past its
+     *  deadline is cancelled cooperatively (SimulationCancelled). */
+    std::uint64_t timeout_ms = 0;
+
+    /** Additional attempts after a failed one (so retries = 1 means up
+     *  to two attempts per job). */
+    unsigned retries = 1;
+
+    /** Record a job that failed every attempt as a `failed` report entry
+     *  (default RunResult in its positional slot) instead of rethrowing
+     *  its exception out of run_all(). */
+    bool tolerant = false;
+};
+
+/**
  * The experiment sweep engine: shards independent (SystemSetup,
  * WorkloadParams, label) simulation jobs across a thread pool. Every
  * worker constructs its own SyntheticWorkload and GpuSystem per job, and
  * results come back in submission order, so a sweep's output is
  * deterministic and identical for any worker count.
+ *
+ * With a SweepConfig attached the engine is fault-tolerant: each job
+ * gets a retry budget and a wall-clock watchdog, completed jobs are
+ * journaled so a killed sweep resumes where it stopped, and (in tolerant
+ * mode) a job that fails every attempt degrades to a `failed` report
+ * entry instead of sinking the whole sweep.
  */
 class SweepEngine
 {
@@ -167,25 +239,36 @@ class SweepEngine
      */
     void set_report(RunReport *report) { report_ = report; }
 
+    /** Replaces the fault-tolerance configuration. */
+    void set_config(SweepConfig config) { config_ = std::move(config); }
+    const SweepConfig &config() const { return config_; }
+
+    /** set_report + set_config from the shared scenario options: report
+     *  sink, fault plan, journal/resume, watchdog, retry budget; scenario
+     *  sweeps run tolerant (a failed grid point degrades the report and
+     *  the exit code instead of aborting the figure). */
+    void configure(const ScenarioOptions &opts);
+
     /** Queues one job; returns its submission index. */
     std::size_t add(SweepJob job);
     std::size_t add(const SystemSetup &setup, const WorkloadParams &params,
                     std::string label = "");
 
     /**
-     * Runs all queued jobs and returns results in submission order.
-     * With assertions enabled, re-runs the first job serially and asserts
-     * its result is bit-identical to the pooled one — the cheap canary for
-     * the "no shared mutable state between runs" invariant the pool
-     * depends on.
+     * Runs all queued jobs and returns results in submission order (a
+     * failed job in tolerant mode keeps a default RunResult in its
+     * slot). With assertions enabled, re-runs the first job serially and
+     * asserts its result is bit-identical to the pooled one — the cheap
+     * canary for the "no shared mutable state between runs" invariant
+     * the pool depends on.
      */
     std::vector<Labeled<RunResult>> run_all();
 
   private:
     ParallelRunner<RunResult> pool_;
     RunReport *report_ = nullptr;
-    /** First queued job, kept for the debug-build serial-replay canary. */
-    std::optional<SweepJob> first_job_;
+    SweepConfig config_;
+    std::vector<SweepJob> jobs_;
 };
 
 } // namespace morpheus

@@ -1,0 +1,158 @@
+#include "harness/sweep_journal.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include "sim/state_io.hpp"
+
+namespace morpheus {
+namespace {
+
+constexpr const char *kLineMagic = "mjrn1";
+
+std::string
+to_hex(const std::string &bytes)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string hex;
+    hex.reserve(bytes.size() * 2);
+    for (unsigned char c : bytes) {
+        hex.push_back(digits[c >> 4]);
+        hex.push_back(digits[c & 0xF]);
+    }
+    return hex;
+}
+
+bool
+from_hex(const std::string &hex, std::string &bytes)
+{
+    if (hex.size() % 2 != 0)
+        return false;
+    bytes.clear();
+    bytes.reserve(hex.size() / 2);
+    for (std::size_t i = 0; i < hex.size(); i += 2) {
+        unsigned v = 0;
+        for (int k = 0; k < 2; ++k) {
+            const char c = hex[i + k];
+            v <<= 4;
+            if (c >= '0' && c <= '9')
+                v |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                v |= static_cast<unsigned>(c - 'a' + 10);
+            else
+                return false;
+        }
+        bytes.push_back(static_cast<char>(v));
+    }
+    return true;
+}
+
+/** Parses one journal line; false on any malformation (torn tail). */
+bool
+parse_line(const std::string &line, SweepJournalEntry &out)
+{
+    std::istringstream ss(line);
+    std::string magic, label_hex, payload_hex;
+    unsigned long long index = 0;
+    if (!(ss >> magic >> index >> label_hex >> payload_hex) || magic != kLineMagic)
+        return false;
+    std::string rest;
+    if (ss >> rest)
+        return false; // trailing junk
+    std::string payload;
+    // "-" encodes the empty label (an empty hex field would break the
+    // whitespace-delimited line).
+    if (label_hex == "-")
+        out.label.clear();
+    else if (!from_hex(label_hex, out.label))
+        return false;
+    if (!from_hex(payload_hex, payload))
+        return false;
+    try {
+        StateReader r(payload);
+        out.result = RunResult{};
+        out.result.state(r);
+        if (!r.done())
+            return false;
+    } catch (const StateError &) {
+        return false;
+    }
+    out.index = static_cast<std::size_t>(index);
+    return true;
+}
+
+} // namespace
+
+bool
+load_sweep_journal(const std::string &path, std::vector<SweepJournalEntry> &out,
+                   std::string &error)
+{
+    out.clear();
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+        if (errno == ENOENT)
+            return true; // no journal yet: nothing completed
+        error = "cannot open journal '" + path + "': " + std::strerror(errno);
+        return false;
+    }
+    std::string text;
+    char buf[65536];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        text.append(buf, n);
+    const bool read_ok = std::ferror(f) == 0;
+    std::fclose(f);
+    if (!read_ok) {
+        error = "read error on journal '" + path + "'";
+        return false;
+    }
+
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        const std::size_t nl = text.find('\n', pos);
+        if (nl == std::string::npos)
+            break; // unterminated tail: the line was torn mid-write
+        SweepJournalEntry entry;
+        if (!parse_line(text.substr(pos, nl - pos), entry))
+            break; // malformed tail: keep everything before it
+        out.push_back(std::move(entry));
+        pos = nl + 1;
+    }
+    return true;
+}
+
+SweepJournalWriter::~SweepJournalWriter()
+{
+    if (f_ != nullptr)
+        std::fclose(f_);
+}
+
+bool
+SweepJournalWriter::open(const std::string &path, std::string &error)
+{
+    f_ = std::fopen(path.c_str(), "ab");
+    if (f_ == nullptr) {
+        error = "cannot open journal '" + path + "' for append: " + std::strerror(errno);
+        return false;
+    }
+    return true;
+}
+
+void
+SweepJournalWriter::append(std::size_t index, const std::string &label, const RunResult &result)
+{
+    if (f_ == nullptr)
+        return;
+    StateWriter w;
+    RunResult copy = result;
+    copy.state(w);
+    const std::string line = std::string(kLineMagic) + " " + std::to_string(index) + " " +
+                             (label.empty() ? std::string("-") : to_hex(label)) + " " +
+                             to_hex(w.bytes()) + "\n";
+    std::lock_guard<std::mutex> lock(mu_);
+    std::fwrite(line.data(), 1, line.size(), f_);
+    std::fflush(f_);
+}
+
+} // namespace morpheus

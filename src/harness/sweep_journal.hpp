@@ -1,0 +1,66 @@
+#ifndef MORPHEUS_HARNESS_SWEEP_JOURNAL_HPP_
+#define MORPHEUS_HARNESS_SWEEP_JOURNAL_HPP_
+
+#include <cstddef>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "gpu/gpu_system.hpp"
+
+namespace morpheus {
+
+/**
+ * The sweep journal (`--journal`, `--resume`): an append-only text file
+ * with one line per *completed* sweep job,
+ *
+ *     mjrn1 <index> <hex(label)> <hex(RunResult state bytes)>
+ *
+ * Each line is flushed as soon as the job finishes, so after a SIGKILL
+ * the journal holds exactly the finished jobs (plus at most one torn
+ * tail line, which the loader drops). A resumed sweep replays journaled
+ * results verbatim — RunResult serialization is bit-exact, so the
+ * resumed BENCH report equals the uninterrupted one byte for byte.
+ */
+struct SweepJournalEntry
+{
+    std::size_t index = 0;
+    std::string label;
+    RunResult result{};
+};
+
+/**
+ * Loads @p path. A missing file is an empty journal (returns true); a
+ * malformed line ends parsing but keeps everything before it — the torn
+ * tail a crash can leave is data loss of one job, not an error.
+ * @return false with @p error only on I/O failure.
+ */
+bool load_sweep_journal(const std::string &path, std::vector<SweepJournalEntry> &out,
+                        std::string &error);
+
+/** Serialized append access to one journal file (thread-safe). */
+class SweepJournalWriter
+{
+  public:
+    SweepJournalWriter() = default;
+    ~SweepJournalWriter();
+
+    SweepJournalWriter(const SweepJournalWriter &) = delete;
+    SweepJournalWriter &operator=(const SweepJournalWriter &) = delete;
+
+    /** Opens @p path for appending. @return false with @p error set. */
+    bool open(const std::string &path, std::string &error);
+    bool is_open() const { return f_ != nullptr; }
+
+    /** Appends one completed job and flushes the line to disk. */
+    void append(std::size_t index, const std::string &label, const RunResult &result);
+
+  private:
+    std::FILE *f_ = nullptr;
+    std::mutex mu_;
+};
+
+} // namespace morpheus
+
+#endif // MORPHEUS_HARNESS_SWEEP_JOURNAL_HPP_

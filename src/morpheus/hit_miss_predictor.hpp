@@ -86,6 +86,19 @@ class DualBloomPredictor
         return 2 * BloomFilter::kDefaultBits / 8;
     }
 
+    /** Checkpoint state: both filters plus the MRU counter. The swap
+     *  threshold is included because compression retunes it at runtime. */
+    template <class A>
+    void
+    state(A &ar)
+    {
+        ar.obj(bf1_);
+        ar.obj(bf2_);
+        ar.field(n_);
+        ar.field(associativity_);
+        ar.field(swaps_);
+    }
+
   private:
     BloomFilter bf1_;
     BloomFilter bf2_;

@@ -58,6 +58,22 @@ struct EnergyBreakdown
         return instr_j + l1_j + llc_j + dram_j + noc_j + rf_j + smem_j + static_j +
                controller_j;
     }
+
+    /** Serialization for checkpoints and the sweep journal. */
+    template <class A>
+    void
+    state(A &ar)
+    {
+        ar.field(instr_j);
+        ar.field(l1_j);
+        ar.field(llc_j);
+        ar.field(dram_j);
+        ar.field(noc_j);
+        ar.field(rf_j);
+        ar.field(smem_j);
+        ar.field(static_j);
+        ar.field(controller_j);
+    }
 };
 
 /**
@@ -100,6 +116,20 @@ class EnergyModel
     average_watts(const EnergyBreakdown &bd, Cycle elapsed)
     {
         return elapsed ? bd.total_j() / (static_cast<double>(elapsed) * 1e-9) : 0.0;
+    }
+
+    /** Checkpoint state: the accumulated dynamic energies. */
+    template <class A>
+    void
+    state(A &ar)
+    {
+        ar.field(instr_pj_);
+        ar.field(l1_pj_);
+        ar.field(llc_pj_);
+        ar.field(dram_pj_);
+        ar.field(noc_pj_);
+        ar.field(rf_pj_);
+        ar.field(smem_pj_);
     }
 
   private:

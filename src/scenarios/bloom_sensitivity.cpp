@@ -30,7 +30,7 @@ run_bloom_sensitivity(const ScenarioOptions &opts)
     const char *app_names[] = {"p-bfs", "kmeans", "lbm"};
 
     SweepEngine engine(opts.jobs);
-    engine.set_report(opts.report);
+    engine.configure(opts);
     for (const char *name : app_names) {
         const AppSpec *app = find_app(name);
         engine.add(make_morpheus_system(*app, app->morpheus_basic_sms, false, false,

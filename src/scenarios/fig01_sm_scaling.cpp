@@ -23,7 +23,7 @@ run_fig01_sm_scaling(const ScenarioOptions &opts)
     const auto &apps = app_catalog();
 
     SweepEngine engine(opts.jobs);
-    engine.set_report(opts.report);
+    engine.configure(opts);
     for (const auto &app : apps) {
         for (auto n : sm_counts)
             engine.add(setup_with_sms(n), app.params,

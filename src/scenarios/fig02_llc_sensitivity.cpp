@@ -30,7 +30,7 @@ run_fig02_llc_sensitivity(const ScenarioOptions &opts)
     }
 
     SweepEngine engine(opts.jobs);
-    engine.set_report(opts.report);
+    engine.configure(opts);
     for (const AppSpec *app : apps) {
         for (std::uint64_t scale : scales) {
             for (auto n : sm_counts) {

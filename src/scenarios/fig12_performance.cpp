@@ -26,7 +26,7 @@ run_fig12_performance(const ScenarioOptions &opts)
 
     // One job per (app, system) cell plus the per-app BL normalizer.
     SweepEngine engine(opts.jobs);
-    engine.set_report(opts.report);
+    engine.configure(opts);
     for (const auto &app : apps) {
         engine.add(make_system(SystemKind::kBL, app), app.params,
                    app.params.name + "/BL");

@@ -28,7 +28,7 @@ run_fig13_hitmiss_prediction(const ScenarioOptions &opts)
     }
 
     SweepEngine engine(opts.jobs);
-    engine.set_report(opts.report);
+    engine.configure(opts);
     for (const AppSpec *app : apps) {
         engine.add(make_system(SystemKind::kBL, *app), app->params,
                    app->params.name + "/BL");

@@ -23,7 +23,7 @@ run_kmeans_capacity_sweep(const ScenarioOptions &opts)
     const std::uint32_t splits[] = {18, 26, 34, 42, 50, 68};
 
     SweepEngine engine(opts.jobs);
-    engine.set_report(opts.report);
+    engine.configure(opts);
     engine.add(make_system(SystemKind::kBL, *app), app->params, "kmeans/BL");
     for (std::uint32_t compute : splits) {
         engine.add(make_morpheus_system(*app, compute, true, true, PredictionMode::kBloom),

@@ -32,7 +32,7 @@ run_sec74_bandwidth_analysis(const ScenarioOptions &opts)
     }
 
     SweepEngine engine(opts.jobs);
-    engine.set_report(opts.report);
+    engine.configure(opts);
     for (const AppSpec *app : apps) {
         for (SystemKind kind : kinds) {
             engine.add(make_system(kind, *app), app->params,

@@ -51,7 +51,7 @@ run_sec75_overheads(const ScenarioOptions &opts)
     // overhead accounted, and report its energy fraction.
     const AppSpec *app = find_app("cfd");
     SweepEngine engine(opts.jobs);
-    engine.set_report(opts.report);
+    engine.configure(opts);
     engine.add(make_system(SystemKind::kMorpheusAll, *app), app->params, "cfd/Morpheus-ALL");
     const auto results = engine.run_all();
     const RunResult &with_ctrl = results.front().value;

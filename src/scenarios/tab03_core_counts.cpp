@@ -76,7 +76,7 @@ run_tab03_core_counts(const ScenarioOptions &opts)
     // Three search grids per memory-bound app: plain (IBL), Morpheus
     // without features (Basic), Morpheus with both features (ALL).
     SweepEngine engine(opts.jobs);
-    engine.set_report(opts.report);
+    engine.configure(opts);
     for (const AppSpec *app : apps) {
         for (auto n : kGrid)
             engine.add(setup_with_sms(n), app->params,

@@ -2,10 +2,12 @@
 #define MORPHEUS_SIM_EVENT_QUEUE_HPP_
 
 #include <array>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <queue>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -13,6 +15,18 @@
 #include "sim/types.hpp"
 
 namespace morpheus {
+
+/**
+ * Thrown out of EventQueue::run_until when a cancellation token fires
+ * (watchdog timeout, injected hang teardown). The simulation is left
+ * mid-flight and must be discarded; the harness catches this at the
+ * sweep layer and records the grid point as timed out.
+ */
+class SimulationCancelled : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
 
 /**
  * A discrete-event scheduler.
@@ -104,8 +118,38 @@ class EventQueue
     /** Runs events with timestamps <= @p until (time advances to at most @p until). */
     void run_until(Cycle until);
 
+    /**
+     * run_until with a cancellation token: @p cancel is polled every
+     * kCancelCheckEvents executed events, and when it reads true a
+     * SimulationCancelled is thrown. Event execution order is identical
+     * to the token-free overload — the poll only adds atomic loads — so
+     * determinism is unaffected. A null token is allowed and ignored.
+     */
+    void run_until(Cycle until, const std::atomic<bool> *cancel);
+
     /** Total number of events executed so far (for micro-benchmarks / tests). */
     std::uint64_t executed() const { return executed_; }
+
+    /**
+     * Checkpoint state: the clock, the sequence counter, and the executed
+     * count. Pending events are NOT serialized (closures are opaque);
+     * restore relies on deterministic replay or on the queue being
+     * drained — see docs/CHECKPOINT_FORMAT.md. The pending count rides
+     * along as digest-only coverage so a restore into a queue with a
+     * different in-flight population fails verification.
+     */
+    template <class A>
+    void
+    state(A &ar)
+    {
+        ar.field(now_);
+        ar.field(next_seq_);
+        ar.field(executed_);
+        ar.shadow(pending());
+    }
+
+    /** Poll period (in executed events) for the cancellation token. */
+    static constexpr std::uint64_t kCancelCheckEvents = 4096;
 
   private:
     struct Node

@@ -7,6 +7,7 @@
 #include "harness/report.hpp"
 #include "harness/sweep_engine.hpp"
 #include "harness/system_config.hpp"
+#include "sim/rng.hpp"
 
 using namespace morpheus;
 
@@ -208,5 +209,153 @@ TEST(RunReport, ReportContentIdenticalForAnyWorkerCount)
     for (unsigned jobs : {2u, 4u, 8u}) {
         const RunReport parallel = run_with(jobs);
         EXPECT_TRUE(reports_identical(serial, parallel)) << jobs << " workers diverged";
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Schema v2: per-entry status/error (failed grid points)
+
+TEST(RunReportV2, FailedEntriesRoundTrip)
+{
+    RunReport report("drill");
+    ReportEntry &ok = report.add_entry("good");
+    ok.set("cycles", 100.0);
+    report.add_failed("bad", "injected harness fault: \"quoted\"\nline two");
+
+    ASSERT_EQ(report.entries().size(), 2u);
+    EXPECT_TRUE(report.entries()[0].ok());
+    EXPECT_FALSE(report.entries()[1].ok());
+    EXPECT_TRUE(report.has_failures());
+
+    RunReport parsed;
+    std::string error;
+    ASSERT_TRUE(RunReport::parse_json(report.to_json(), parsed, error)) << error;
+    ASSERT_EQ(parsed.entries().size(), 2u);
+    EXPECT_EQ(parsed.entries()[1].status, "failed");
+    EXPECT_EQ(parsed.entries()[1].error, "injected harness fault: \"quoted\"\nline two");
+    EXPECT_TRUE(reports_identical(report, parsed));
+    EXPECT_EQ(report.to_json(), parsed.to_json()); // stable on re-save
+}
+
+TEST(RunReportV2, V1ReportsParseWithOkStatus)
+{
+    // Pre-v2 baselines carry no "status" key; they must keep loading with
+    // every entry treated as ok.
+    RunReport out;
+    std::string error;
+    const char *text = "{\"schema_version\": 1, \"scenario\": \"x\","
+                       " \"entries\": [{\"label\": \"j\", \"metrics\": {\"m\": 1.0}}]}";
+    ASSERT_TRUE(RunReport::parse_json(text, out, error)) << error;
+    ASSERT_EQ(out.entries().size(), 1u);
+    EXPECT_TRUE(out.entries()[0].ok());
+    EXPECT_FALSE(out.has_failures());
+}
+
+TEST(RunReportV2, StatusAffectsIdentityAndDiff)
+{
+    RunReport a("drill");
+    a.add_entry("j").set("m", 1.0);
+    RunReport b("drill");
+    b.add_failed("j", "boom");
+
+    EXPECT_FALSE(reports_identical(a, b));
+    const DiffResult diff = diff_reports(a, b, DiffOptions{});
+    EXPECT_FALSE(diff.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Parser hardening
+
+TEST(RunReportParser, RejectsNonFiniteNumbers)
+{
+    RunReport out;
+    std::string error;
+    auto with_metric = [](const char *token) {
+        return std::string("{\"schema_version\": 2, \"scenario\": \"x\", \"entries\":"
+                           " [{\"label\": \"j\", \"metrics\": {\"m\": ") +
+               token + "}}]}";
+    };
+    EXPECT_FALSE(RunReport::parse_json(with_metric("nan"), out, error));
+    EXPECT_FALSE(RunReport::parse_json(with_metric("NaN"), out, error));
+    EXPECT_FALSE(RunReport::parse_json(with_metric("inf"), out, error));
+    EXPECT_FALSE(RunReport::parse_json(with_metric("-inf"), out, error));
+    EXPECT_FALSE(RunReport::parse_json(with_metric("Infinity"), out, error));
+    EXPECT_FALSE(RunReport::parse_json(with_metric("1e999"), out, error));  // overflows to inf
+    EXPECT_FALSE(RunReport::parse_json(with_metric("-1e999"), out, error));
+    EXPECT_TRUE(RunReport::parse_json(with_metric("1e308"), out, error)) << error;
+    EXPECT_TRUE(RunReport::parse_json(with_metric("-0.5"), out, error)) << error;
+}
+
+TEST(RunReportParser, DuplicateKeysLastWins)
+{
+    RunReport out;
+    std::string error;
+    const char *text = "{\"schema_version\": 2, \"scenario\": \"first\","
+                       " \"scenario\": \"second\", \"entries\":"
+                       " [{\"label\": \"j\", \"metrics\": {\"m\": 1.0, \"m\": 2.0}}]}";
+    ASSERT_TRUE(RunReport::parse_json(text, out, error)) << error;
+    EXPECT_EQ(out.scenario(), "second");
+    ASSERT_EQ(out.entries().size(), 1u);
+    ASSERT_EQ(out.entries()[0].metrics.size(), 1u); // deduped, last value kept
+    EXPECT_EQ(*out.entries()[0].find("m"), 2.0);
+}
+
+TEST(RunReportParser, DeeplyNestedInputIsRejectedNotOverflowed)
+{
+    // 4096 nested arrays inside an ignored key: a recursive-descent parser
+    // without a depth gate would exhaust the stack here.
+    std::string text = "{\"schema_version\": 2, \"scenario\": \"x\", \"deep\": ";
+    for (int i = 0; i < 4096; ++i)
+        text += '[';
+    for (int i = 0; i < 4096; ++i)
+        text += ']';
+    text += ", \"entries\": []}";
+
+    RunReport out;
+    std::string error;
+    EXPECT_FALSE(RunReport::parse_json(text, out, error));
+    EXPECT_NE(error.find("nest"), std::string::npos) << error;
+
+    // Mixed object/array nesting hits the same gate.
+    std::string objs = "{\"schema_version\": 2, \"scenario\": \"x\", \"deep\": ";
+    for (int i = 0; i < 200; ++i)
+        objs += "{\"k\": [";
+    objs += "1";
+    for (int i = 0; i < 200; ++i)
+        objs += "]}";
+    objs += ", \"entries\": []}";
+    EXPECT_FALSE(RunReport::parse_json(objs, out, error));
+}
+
+TEST(RunReportParser, FuzzedMutationsNeverCrash)
+{
+    // Deterministic byte-level fuzzing of a valid report: the parser must
+    // accept or reject every mutant without crashing or hanging; accepted
+    // mutants must re-serialize (no poisoned internal state).
+    const std::string seed_text = sample_report().to_json();
+    Rng rng(0xF00DF00Du);
+    for (int iter = 0; iter < 2000; ++iter) {
+        std::string text = seed_text;
+        const int edits = 1 + static_cast<int>(rng.next_below(8));
+        for (int e = 0; e < edits; ++e) {
+            const std::size_t pos = static_cast<std::size_t>(rng.next_below(text.size()));
+            switch (rng.next_below(3)) {
+            case 0: // flip to an arbitrary byte
+                text[pos] = static_cast<char>(rng.next_below(256));
+                break;
+            case 1: // delete a byte
+                text.erase(pos, 1);
+                break;
+            default: // truncate (torn write)
+                text.resize(pos);
+                break;
+            }
+            if (text.empty())
+                break;
+        }
+        RunReport out;
+        std::string error;
+        if (RunReport::parse_json(text, out, error))
+            (void)out.to_json();
     }
 }

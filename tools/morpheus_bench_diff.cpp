@@ -10,6 +10,10 @@
  *       [--abs-tol A]           default 1e-9
  *       [--metric-tol NAME=R]   per-metric relative tolerance override
  *                               (repeatable)
+ *       [--identical]           require bit-identical compared content
+ *                               (reports_identical: tolerances ignored;
+ *                               environment (jobs, wall_ms) still exempt —
+ *                               the kill-and-resume CI gate)
  *       [--quiet]               print only the verdict line
  *
  * Exit codes: 0 = within tolerance, 1 = regression (or context
@@ -37,7 +41,7 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s <baseline.json> <candidate.json> [--rel-tol R] [--abs-tol A]\n"
-                 "       [--metric-tol NAME=R]... [--quiet]\n",
+                 "       [--metric-tol NAME=R]... [--identical] [--quiet]\n",
                  argv0);
     return 2;
 }
@@ -58,6 +62,7 @@ main(int argc, char **argv)
     const char *baseline_path = nullptr;
     const char *candidate_path = nullptr;
     DiffOptions opts;
+    bool identical = false;
     bool quiet = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -80,6 +85,8 @@ main(int argc, char **argv)
                 return 2;
             }
             opts.metric_rel_tol.emplace_back(std::string(arg, eq), tol);
+        } else if (std::strcmp(argv[i], "--identical") == 0) {
+            identical = true;
         } else if (std::strcmp(argv[i], "--quiet") == 0) {
             quiet = true;
         } else if (argv[i][0] == '-') {
@@ -105,6 +112,21 @@ main(int argc, char **argv)
     if (!RunReport::load_file(candidate_path, candidate, error)) {
         std::fprintf(stderr, "candidate %s: %s\n", candidate_path, error.c_str());
         return 2;
+    }
+
+    if (identical) {
+        // wall_ms differs between any two runs, so a byte compare of the
+        // files can never pass; reports_identical() compares everything
+        // that is content, exempting only the environment block.
+        if (reports_identical(baseline, candidate)) {
+            std::fprintf(stderr, "OK: %s — reports are identical\n",
+                         baseline.scenario().c_str());
+            return 0;
+        }
+        std::fprintf(stderr, "FAIL: %s vs %s — compared content differs (expected "
+                             "bit-identical reports)\n",
+                     baseline_path, candidate_path);
+        return 1;
     }
 
     const DiffResult result = diff_reports(baseline, candidate, opts);
