@@ -3,6 +3,35 @@
 #include "sim/types.hpp"
 
 namespace morpheus {
+namespace {
+
+constexpr std::uint64_t kNibbleOnes = 0x1111111111111111ULL;
+constexpr std::uint64_t kNibbleHigh = 0x8888888888888888ULL;
+
+/**
+ * Per-nibble unsigned comparison: the kNibbleHigh bit of each nibble in
+ * the result is set where the corresponding nibble of @p x is >= @p k
+ * (k in [1, 16]). Splits each nibble into its high bit and low three
+ * bits so the SWAR subtraction below cannot borrow across lanes.
+ */
+inline std::uint64_t
+nibbles_ge(std::uint64_t x, std::uint32_t k)
+{
+    const std::uint64_t lo = x & ~kNibbleHigh;
+    const std::uint64_t hi = x & kNibbleHigh;
+    if (k >= 16)
+        return 0;
+    if (k <= 7) {
+        // x >= k  <=>  high bit set, or low three bits >= k.
+        const std::uint64_t lo_ge = ((lo | kNibbleHigh) - k * kNibbleOnes) & kNibbleHigh;
+        return hi | lo_ge;
+    }
+    // x >= k (k in [8,15])  <=>  high bit set and low three bits >= k-8.
+    const std::uint64_t lo_ge = ((lo | kNibbleHigh) - (k - 8) * kNibbleOnes) & kNibbleHigh;
+    return hi & lo_ge;
+}
+
+} // namespace
 
 const char *
 replacement_name(ReplacementKind kind)
@@ -18,15 +47,33 @@ replacement_name(ReplacementKind kind)
 }
 
 ReplacementState::ReplacementState(std::uint32_t ways, ReplacementKind kind)
-    : kind_(kind), stamp_(ways, 0)
+    : kind_(kind), packed_(kind == ReplacementKind::kLru && ways <= 16), ways_(ways)
 {
+    if (packed_) {
+        for (std::uint32_t w = 0; w < ways_; ++w)
+            ranks_ |= static_cast<std::uint64_t>(w) << (4 * w);
+    } else {
+        stamp_.assign(ways, 0);
+    }
 }
 
 void
 ReplacementState::touch(std::uint32_t way)
 {
-    if (kind_ == ReplacementKind::kLru)
+    if (kind_ != ReplacementKind::kLru)
+        return;
+    if (!packed_) {
         stamp_[way] = ++clock_;
+        return;
+    }
+    const std::uint32_t shift = 4 * way;
+    const std::uint32_t mine = static_cast<std::uint32_t>(ranks_ >> shift) & 15;
+    // Every way ranked above this one slides down one slot, then this way
+    // becomes MRU. Ranks of unused high nibbles are 0 and never match.
+    const std::uint64_t above = nibbles_ge(ranks_, mine + 1);
+    ranks_ -= above >> 3; // high bit -> 1 per selected nibble; no borrow, all >= 1
+    ranks_ &= ~(std::uint64_t{15} << shift);
+    ranks_ |= static_cast<std::uint64_t>(ways_ - 1) << shift;
 }
 
 void
@@ -34,6 +81,8 @@ ReplacementState::insert(std::uint32_t way)
 {
     switch (kind_) {
       case ReplacementKind::kLru:
+        touch(way);
+        break;
       case ReplacementKind::kFifo:
         stamp_[way] = ++clock_;
         break;
@@ -46,6 +95,15 @@ ReplacementState::insert(std::uint32_t way)
 std::uint32_t
 ReplacementState::victim() const
 {
+    if (packed_) {
+        // Exactly one way holds rank 0 (the ranks are a permutation).
+        std::uint64_t r = ranks_;
+        for (std::uint32_t w = 0; w + 1 < ways_; ++w, r >>= 4) {
+            if ((r & 15) == 0)
+                return w;
+        }
+        return ways_ - 1;
+    }
     std::uint32_t best = 0;
     for (std::uint32_t w = 1; w < stamp_.size(); ++w) {
         if (stamp_[w] < stamp_[best])

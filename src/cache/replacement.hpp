@@ -25,11 +25,25 @@ const char *replacement_name(ReplacementKind kind);
 /**
  * Tracks replacement state for one cache set of up to @p ways lines.
  *
- * The state is a per-way timestamp: for LRU it is the last-touch stamp,
- * for FIFO the insertion stamp, and for Random a hashed stamp. The victim
- * is always the way with the smallest stamp among valid ways; invalid ways
- * are preferred unconditionally (handled by the cache, which passes only
- * valid candidates here).
+ * Two representations share one interface:
+ *
+ *  - **Packed ranks** (LRU, <= 16 ways — every cache in the simulated
+ *    machine): one 4-bit recency rank per way, all packed into a single
+ *    64-bit word. Rank 0 is the LRU victim, rank ways-1 the MRU way; a
+ *    touch promotes one way to MRU and SWAR-decrements every rank above
+ *    its old one, so the whole set updates without touching memory
+ *    beyond the word. Ranks start equal to the way index, which
+ *    reproduces the stamp representation's tie-break (never-touched
+ *    ways are victimized in way order).
+ *
+ *  - **Stamps** (FIFO, Random, and wide LRU sets): a per-way timestamp —
+ *    last-touch stamp for LRU, insertion stamp for FIFO, a hashed stamp
+ *    for Random. The victim is the way with the smallest stamp, ties
+ *    broken by the lowest way.
+ *
+ * The two are observably identical for LRU: the rank order is exactly
+ * the stamp order (untouched ways by index, then touched ways by
+ * recency), so victim sequences match access for access.
  */
 class ReplacementState
 {
@@ -47,17 +61,32 @@ class ReplacementState
 
     ReplacementKind kind() const { return kind_; }
 
-    /** Checkpoint state; the policy kind is configuration. */
+    /** True when this set uses the packed-rank representation. */
+    bool packed() const { return packed_; }
+
+    /** Checkpoint state; the policy kind is configuration, and so is the
+     *  representation (it is a function of kind and ways), so writer and
+     *  reader always take the same branch. Format v2: packed sets
+     *  serialize the rank word instead of the stamp vector. */
     template <class A>
     void
     state(A &ar)
     {
-        ar.field(clock_);
-        ar.vec(stamp_);
+        if (packed_) {
+            ar.field(ranks_);
+        } else {
+            ar.field(clock_);
+            ar.vec(stamp_);
+        }
     }
 
   private:
     ReplacementKind kind_;
+    bool packed_;
+    std::uint32_t ways_;
+    /** Packed representation: 4-bit rank of each way (packed_ only). */
+    std::uint64_t ranks_ = 0;
+    /** Stamp representation (non-packed only). */
     std::uint64_t clock_ = 0;
     std::vector<std::uint64_t> stamp_;
 };

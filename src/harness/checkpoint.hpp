@@ -40,8 +40,10 @@ struct Checkpoint
     static constexpr std::uint32_t kMagic = 0x4B48434DU;
 
     /** Bump on ANY layout change — header, meta, or state encoding. Old
-     *  files then fail load instead of silently misreading. */
-    static constexpr std::uint32_t kFormatVersion = 1;
+     *  files then fail load instead of silently misreading.
+     *  v2: packed-rank LRU sets serialize one rank word in place of the
+     *  clock + stamp vector (cache/replacement.hpp). */
+    static constexpr std::uint32_t kFormatVersion = 2;
 
     /** Header flag bits. */
     static constexpr std::uint64_t kFlagFinal = 1;  ///< queue drained at capture

@@ -1,5 +1,6 @@
 #include "harness/scenario.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdarg>
 #include <cstdio>
@@ -9,6 +10,7 @@
 #include <iostream>
 #include <system_error>
 
+#include "gpu/gpu_system.hpp"
 #include "harness/report.hpp"
 #include "harness/sweep_engine.hpp"
 #include "workloads/app_catalog.hpp"
@@ -32,6 +34,30 @@ list_scenarios(std::ostream &os)
         os << "  " << s.name << "\n      " << s.description << "\n";
 }
 
+namespace {
+
+/** Applies ScenarioOptions::run_threads as the process default for the
+ *  duration of one scenario (scenarios build SystemSetups internally and
+ *  inherit the default); restores the previous default on scope exit. */
+class ScopedRunThreads
+{
+  public:
+    explicit ScopedRunThreads(unsigned n) : prev_(default_run_threads())
+    {
+        if (n)
+            set_default_run_threads(n);
+    }
+    ~ScopedRunThreads() { set_default_run_threads(prev_); }
+
+    ScopedRunThreads(const ScopedRunThreads &) = delete;
+    ScopedRunThreads &operator=(const ScopedRunThreads &) = delete;
+
+  private:
+    unsigned prev_;
+};
+
+} // namespace
+
 int
 run_scenario_with_report(const Scenario &s, ScenarioOptions opts, const std::string &output_path)
 {
@@ -39,6 +65,7 @@ run_scenario_with_report(const Scenario &s, ScenarioOptions opts, const std::str
     report.set_work_scale(work_scale());
     report.set_jobs(opts.jobs ? opts.jobs : default_sweep_jobs());
     opts.report = &report;
+    const ScopedRunThreads threads_guard(opts.run_threads);
 
     const auto begin = std::chrono::steady_clock::now();
     int rc = s.run(opts);
@@ -124,16 +151,60 @@ run_all_scenarios(const ScenarioOptions &opts, const std::string &output_dir)
 namespace {
 
 bool
-parse_jobs_value(const char *arg, unsigned &out)
+parse_thread_count(const char *arg, const char *flag, unsigned &out)
 {
     char *end = nullptr;
     const long v = std::strtol(arg, &end, 10);
     if (end == arg || *end != '\0' || v < 0) {
-        std::fprintf(stderr, "invalid --jobs value '%s' (expected N >= 0; 0 = auto)\n", arg);
+        std::fprintf(stderr, "invalid %s value '%s' (expected N >= 0; 0 = auto)\n", flag,
+                     arg);
         return false;
     }
     out = static_cast<unsigned>(v);
     return true;
+}
+
+bool
+parse_jobs_value(const char *arg, unsigned &out)
+{
+    return parse_thread_count(arg, "--jobs", out);
+}
+
+/** Levenshtein distance (for near-miss flag suggestions). */
+std::size_t
+flag_edit_distance(const std::string &a, const std::string &b)
+{
+    std::vector<std::size_t> row(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        row[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        std::size_t prev = row[0];
+        row[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            const std::size_t cur = row[j];
+            row[j] = std::min({row[j] + 1, row[j - 1] + 1,
+                               prev + (a[i - 1] == b[j - 1] ? 0 : 1)});
+            prev = cur;
+        }
+    }
+    return row[b.size()];
+}
+
+/** Prints "did you mean ...?" when @p arg is close to a known flag. */
+void
+suggest_flag(const char *arg, const char *const *known, std::size_t n_known)
+{
+    const char *best = nullptr;
+    std::size_t best_d = 4; // suggestions only within edit distance 3
+    for (std::size_t i = 0; i < n_known; ++i) {
+        const std::size_t d = flag_edit_distance(arg, known[i]);
+        if (d < best_d) {
+            best_d = d;
+            best = known[i];
+        }
+    }
+    if (best)
+        std::fprintf(stderr, "unknown flag '%s' (did you mean '%s'?)\n", arg, best);
 }
 
 /**
@@ -161,6 +232,9 @@ parse_scenario_flags(int argc, char **argv, const char *path_flag, ScenarioOptio
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
             if (!parse_jobs_value(argv[++i], opts.jobs))
+                return false;
+        } else if (std::strcmp(argv[i], "--run-threads") == 0 && i + 1 < argc) {
+            if (!parse_thread_count(argv[++i], "--run-threads", opts.run_threads))
                 return false;
         } else if (std::strcmp(argv[i], "--format") == 0 && i + 1 < argc) {
             if (!parse_table_format(argv[++i], opts.format)) {
@@ -190,10 +264,15 @@ parse_scenario_flags(int argc, char **argv, const char *path_flag, ScenarioOptio
         } else if (std::strcmp(argv[i], path_flag) == 0 && i + 1 < argc) {
             path = argv[++i];
         } else {
+            const char *known[] = {"--jobs",       "--run-threads", "--format",
+                                   "--trace",      "--fault-plan",  "--journal",
+                                   "--resume",     "--timeout-ms",  "--retries",
+                                   path_flag};
+            suggest_flag(argv[i], known, sizeof(known) / sizeof(known[0]));
             std::fprintf(stderr,
-                         "usage: %s [--jobs N] [--format text|csv|json] [--trace FILE] "
-                         "[--fault-plan SPEC] [--journal PATH] [--resume] [--timeout-ms N] "
-                         "[--retries N] [%s PATH]\n",
+                         "usage: %s [--jobs N] [--run-threads N] [--format text|csv|json] "
+                         "[--trace FILE] [--fault-plan SPEC] [--journal PATH] [--resume] "
+                         "[--timeout-ms N] [--retries N] [%s PATH]\n",
                          argv[0], path_flag);
             return false;
         }

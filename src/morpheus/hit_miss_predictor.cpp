@@ -1,7 +1,5 @@
 #include "morpheus/hit_miss_predictor.hpp"
 
-#include <utility>
-
 namespace morpheus {
 
 const char *
@@ -17,24 +15,46 @@ prediction_mode_name(PredictionMode mode)
     }
 }
 
-void
-DualBloomPredictor::on_access(LineAddr line)
+bool
+DualBloomPredictor::access_and_predict(LineAddr line)
 {
-    // Figure 6b step 7: insert the accessed block into both filters.
-    // Invariant (2): n grows only when the block was not already among
-    // BF2's most-recently-used set.
-    if (!bf2_.maybe_contains(line))
-        ++n_;
-    bf1_.insert(line);
-    bf2_.insert(line);
+    // One mix drives every probe of both filters (double hashing). Reads
+    // happen before the set of the same bit, so the accumulated ANDs
+    // equal the pre-insertion memberships: a bit this access flips 0->1
+    // has already forced its AND false at the probe that read it.
+    const std::uint64_t h = mix64(line);
+    const std::uint32_t h1 = static_cast<std::uint32_t>(h);
+    const std::uint32_t h2 = static_cast<std::uint32_t>(h >> 32) | 1u;
+    const std::size_t half = fused_.size() / 2;
 
-    // Step 8-9: once BF2 provably covers the whole LRU set, promote it.
+    bool hit = true;    // BF1 membership before this access
+    bool in_mru = true; // BF2 membership before this access
+    for (std::uint32_t i = 0; i < probes_; ++i) {
+        const std::uint32_t b = (h1 + i * h2) % bits_;
+        const std::uint64_t mask = std::uint64_t{1} << (b & 63);
+        std::uint64_t &w1 = fused_[b >> 6];
+        std::uint64_t &w2 = fused_[half + (b >> 6)];
+        hit &= (w1 & mask) != 0;
+        in_mru &= (w2 & mask) != 0;
+        w1 |= mask;
+        w2 |= mask;
+    }
+
+    // Figure 6b step 7: invariant (2) — n grows only when the block was
+    // not already among BF2's most-recently-used set.
+    if (!in_mru)
+        ++n_;
+
+    // Step 8-9: once BF2 provably covers the whole LRU set, promote it
+    // over BF1 and clear it.
     if (n_ >= associativity_) {
-        bf1_ = bf2_;
-        bf2_.clear();
+        std::copy(fused_.begin() + static_cast<std::ptrdiff_t>(half), fused_.end(),
+                  fused_.begin());
+        std::fill(fused_.begin() + static_cast<std::ptrdiff_t>(half), fused_.end(), 0);
         n_ = 0;
         ++swaps_;
     }
+    return hit;
 }
 
 } // namespace morpheus

@@ -1,9 +1,12 @@
 #ifndef MORPHEUS_MORPHEUS_HIT_MISS_PREDICTOR_HPP_
 #define MORPHEUS_MORPHEUS_HIT_MISS_PREDICTOR_HPP_
 
+#include <algorithm>
 #include <cstdint>
+#include <vector>
 
 #include "cache/bloom_filter.hpp"
+#include "sim/state_io.hpp"
 #include "sim/types.hpp"
 
 namespace morpheus {
@@ -30,6 +33,14 @@ const char *prediction_mode_name(PredictionMode mode);
  * When n reaches the set's associativity, BF2 provably covers the whole
  * (LRU-managed) set, so BF1 is replaced by BF2 and BF2 is cleared,
  * shedding the stale evicted blocks that cause false positives.
+ *
+ * Both filters share one probe sequence (they are always probed and
+ * inserted with the same key together), so they live fused in a single
+ * word array — BF1 in the first half, BF2 in the second. At the paper's
+ * nominal 256-bit sizing the pair packs into one 64-byte cache line, and
+ * an access mixes the key once instead of once per filter operation.
+ * Bit positions, predictions, and checkpoint bytes are identical to the
+ * former two-BloomFilter layout.
  */
 class DualBloomPredictor
 {
@@ -41,10 +52,13 @@ class DualBloomPredictor
     explicit DualBloomPredictor(std::uint32_t associativity = 32,
                                 std::uint32_t bits_per_entry = BloomFilter::kDefaultBitsPerEntry,
                                 std::uint32_t probes = BloomFilter::kProbes)
-        : bf1_(BloomFilter::sized_for(associativity, bits_per_entry, probes)),
-          bf2_(BloomFilter::sized_for(associativity, bits_per_entry, probes)),
-          associativity_(associativity)
+        : associativity_(associativity)
     {
+        // Same geometry as the two separate filters this fuses.
+        const BloomFilter shape = BloomFilter::sized_for(associativity, bits_per_entry, probes);
+        bits_ = shape.bits();
+        probes_ = shape.probes();
+        fused_.assign(2 * ((bits_ + 63) / 64), 0);
     }
 
     /**
@@ -55,7 +69,15 @@ class DualBloomPredictor
     bool
     predict_hit(LineAddr line) const
     {
-        return bf1_.maybe_contains(line);
+        const std::uint64_t h = mix64(line);
+        const std::uint32_t h1 = static_cast<std::uint32_t>(h);
+        const std::uint32_t h2 = static_cast<std::uint32_t>(h >> 32) | 1u;
+        for (std::uint32_t i = 0; i < probes_; ++i) {
+            const std::uint32_t b = (h1 + i * h2) % bits_;
+            if (!(fused_[b >> 6] & (std::uint64_t{1} << (b & 63))))
+                return false;
+        }
+        return true;
     }
 
     /**
@@ -63,7 +85,15 @@ class DualBloomPredictor
      * insertion or a reuse; Figure 6b): inserts into both filters,
      * advances n, and swaps/clears when n reaches the associativity.
      */
-    void on_access(LineAddr line);
+    void on_access(LineAddr line) { (void)access_and_predict(line); }
+
+    /**
+     * Fused fast path: predict_hit() + on_access() in one pass — the key
+     * is mixed once and each probe position is visited once for both
+     * filters. @return the prediction BF1 gave BEFORE @p line was
+     * inserted (exactly predict_hit() followed by on_access()).
+     */
+    bool access_and_predict(LineAddr line);
 
     /**
      * Updates the swap threshold (compression grows the effective
@@ -77,7 +107,7 @@ class DualBloomPredictor
     std::uint64_t swaps() const { return swaps_; }
 
     /** Storage per set: two filters (paper §4.1.2: 2 x 32 B for 32 ways). */
-    std::uint32_t storage_bytes() const { return bf1_.storage_bytes() + bf2_.storage_bytes(); }
+    std::uint32_t storage_bytes() const { return 2 * (bits_ / 8); }
 
     /** Paper-nominal storage per set (32-way sizing). */
     static constexpr std::uint32_t
@@ -87,21 +117,38 @@ class DualBloomPredictor
     }
 
     /** Checkpoint state: both filters plus the MRU counter. The swap
-     *  threshold is included because compression retunes it at runtime. */
+     *  threshold is included because compression retunes it at runtime.
+     *  Serialized as the two separate word vectors of the pre-fusion
+     *  layout, so existing .mchk files restore unchanged. */
     template <class A>
     void
     state(A &ar)
     {
-        ar.obj(bf1_);
-        ar.obj(bf2_);
+        const std::size_t half = fused_.size() / 2;
+        std::vector<std::uint64_t> bf1(fused_.begin(),
+                                       fused_.begin() + static_cast<std::ptrdiff_t>(half));
+        std::vector<std::uint64_t> bf2(fused_.begin() + static_cast<std::ptrdiff_t>(half),
+                                       fused_.end());
+        ar.vec(bf1);
+        ar.vec(bf2);
         ar.field(n_);
         ar.field(associativity_);
         ar.field(swaps_);
+        if constexpr (!A::kIsWriter) {
+            if (bf1.size() != half || bf2.size() != half)
+                throw StateError("DualBloomPredictor: filter size mismatch "
+                                 "(checkpoint from a different configuration?)");
+            std::copy(bf1.begin(), bf1.end(), fused_.begin());
+            std::copy(bf2.begin(), bf2.end(),
+                      fused_.begin() + static_cast<std::ptrdiff_t>(half));
+        }
     }
 
   private:
-    BloomFilter bf1_;
-    BloomFilter bf2_;
+    std::uint32_t bits_;
+    std::uint32_t probes_;
+    /** BF1 words then BF2 words (each (bits_+63)/64 long). */
+    std::vector<std::uint64_t> fused_;
     std::uint32_t n_ = 0;
     std::uint32_t associativity_;
     std::uint64_t swaps_ = 0;

@@ -129,23 +129,24 @@ MorpheusController::handle(Cycle when, const MemRequest &req, RespFn resp)
     ++ext_requests_;
     const auto ref = ext_->set_of(req.line);
 
+    // Every extended access leaves the block resident, so the predictor
+    // records it in the same step (keeping BF1's no-false-negative
+    // invariant ahead of the actual insertion). The Bloom mode fuses the
+    // query into that recording pass; the other modes predict elsewhere
+    // but still train the filters so a mode sweep sees equal state.
     bool predicted_hit = true;
     switch (mode_) {
       case PredictionMode::kNone:
-        predicted_hit = true;
+        ext_->predictor(ref.global_set).on_access(req.line);
         break;
       case PredictionMode::kBloom:
-        predicted_hit = ext_->predictor(ref.global_set).predict_hit(req.line);
+        predicted_hit = ext_->predictor(ref.global_set).access_and_predict(req.line);
         break;
       case PredictionMode::kPerfect:
         predicted_hit = ext_->sm(ref.sm_slot).contains(ref.local_set, req.line);
+        ext_->predictor(ref.global_set).on_access(req.line);
         break;
     }
-
-    // Every extended access leaves the block resident, so the predictor
-    // records it now (keeping BF1's no-false-negative invariant ahead of
-    // the actual insertion).
-    ext_->predictor(ref.global_set).on_access(req.line);
 
     if (predicted_hit) {
         ++predicted_hits_;
@@ -220,9 +221,10 @@ MorpheusController::respond(Cycle when, const MemRequest &req, std::uint64_t ver
     ctx_.energy->add_noc_bytes(payload + ctx_.noc->params().header_bytes);
     const Cycle delivered =
         ctx_.noc->partition_to_sm(when, partition_, req.requester_sm, payload);
-    ctx_.eq->schedule(delivered, [resp = std::move(resp), delivered, version] {
-        resp(delivered, version);
-    });
+    ctx_.deliver_to_sm(req.requester_sm, delivered,
+                       [resp = std::move(resp), delivered, version] {
+                           resp(delivered, version);
+                       });
 }
 
 } // namespace morpheus

@@ -1,0 +1,264 @@
+#include "sim/domain_executor.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "gpu/gpu_system.hpp"
+
+namespace morpheus {
+namespace {
+
+/** 12-byte spine mirror of one domain event: executing it replays the
+ *  domain event's record group at the exact serial position. */
+struct GhostEvent
+{
+    DomainExecutor *exec;
+    std::uint32_t domain;
+
+    void operator()() const { exec->consume_group(domain); }
+};
+
+} // namespace
+
+DomainExecutor::DomainExecutor(GpuSystem &sys, unsigned threads)
+    : sys_(sys), eq_(sys.eq_),
+      lookahead_(std::max<Cycle>(1, sys.noc_.hop_cycles())),
+      nthreads_(std::max(1u, threads))
+{
+    const std::uint32_t n = static_cast<std::uint32_t>(sys_.sms_.size());
+    domains_.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i)
+        domains_.emplace_back(i);
+    ghost_seqs_.resize(n);
+    real_versions_.resize(n);
+    channel_.resize(n);
+    errors_.resize(n);
+
+    // A worker pool only pays off with real hardware parallelism: with
+    // one usable core (or one domain) the domains drain inline on the
+    // simulation thread instead — same bytes, none of the per-window
+    // condvar handoff.
+    const unsigned hw = std::thread::hardware_concurrency();
+    unsigned pool = std::min<unsigned>(nthreads_, n);
+    if (hw != 0 && hw < pool)
+        pool = hw;
+    if (pool <= 1)
+        pool = 0;
+    workers_.reserve(pool);
+    for (unsigned w = 0; w < pool; ++w)
+        workers_.emplace_back([this] { worker_main(); });
+}
+
+DomainExecutor::~DomainExecutor()
+{
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        shutdown_ = true;
+    }
+    cv_work_.notify_all();
+    for (auto &t : workers_)
+        t.join();
+}
+
+void
+DomainExecutor::begin()
+{
+    // Activate the domain slots: from here on, SM-side FabricContexts
+    // route through their SimDomain and memory-side responses through
+    // this sink.
+    for (std::uint32_t i = 0; i < domains_.size(); ++i)
+        sys_.domain_of_sm_[i] = &domains_[i];
+    sys_.delivery_sink_ = this;
+
+    // Mirror GpuSystem::begin(): each Sm::start() runs inside its domain
+    // (recording one group), then the groups are replayed on the spine
+    // in SM order — reproducing the serial seq assignment from event 0.
+    sys_.workload_.configure(static_cast<std::uint32_t>(sys_.sms_.size()));
+    for (std::uint32_t i = 0; i < domains_.size(); ++i) {
+        sys_.sms_[i]->start();
+        domains_[i].log_end_group();
+    }
+    for (std::uint32_t i = 0; i < domains_.size(); ++i)
+        consume_group(i);
+    window_barrier();
+}
+
+Cycle
+DomainExecutor::earliest_pending() const
+{
+    Cycle mn = eq_.next_when();
+    for (const SimDomain &d : domains_)
+        mn = std::min(mn, d.next_when());
+    return mn;
+}
+
+void
+DomainExecutor::advance(Cycle stop, const std::atomic<bool> *cancel)
+{
+    for (;;) {
+        const Cycle w = earliest_pending();
+        if (w > stop) // includes kNoEvent (drained)
+            break;
+
+        // Conservative window [w, window_end): no event executed inside
+        // it can affect another domain before window_end, because every
+        // cross-domain path crosses the crossbar (>= lookahead_ cycles).
+        // Clamping to stop + 1 keeps checkpoint boundaries mode-exact.
+        const Cycle window_end = std::min(w + lookahead_, stop + 1);
+
+        // Phase A: domains drain [*, window_end) in parallel, recording.
+        run_phase_a(window_end, cancel);
+
+        // Phase C: the spine replays the window serially — ghosts pop in
+        // global (cycle, seq) order interleaved with real memory-side
+        // events, so all shared state evolves bit-identically to serial.
+        eq_.run_until(window_end - 1, cancel);
+
+        // Phase B: patch provisional seqs + placeholder versions, absorb
+        // cross-domain deliveries, reset the window streams.
+        window_barrier();
+        ++windows_;
+    }
+}
+
+void
+DomainExecutor::run_phase_a(Cycle window_end, const std::atomic<bool> *cancel)
+{
+    if (workers_.empty()) {
+        for (SimDomain &d : domains_)
+            d.drain(window_end, cancel);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        window_end_ = window_end;
+        cancel_ = cancel;
+        next_domain_.store(0, std::memory_order_relaxed);
+        finished_ = 0;
+        ++generation_;
+    }
+    cv_work_.notify_all();
+    {
+        std::unique_lock<std::mutex> lk(m_);
+        cv_done_.wait(lk, [this] { return finished_ == workers_.size(); });
+    }
+    rethrow_phase_a_error();
+}
+
+void
+DomainExecutor::worker_main()
+{
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lk(m_);
+    for (;;) {
+        cv_work_.wait(lk, [&] { return shutdown_ || generation_ != seen; });
+        if (shutdown_)
+            return;
+        seen = generation_;
+        const Cycle window_end = window_end_;
+        const std::atomic<bool> *cancel = cancel_;
+        lk.unlock();
+
+        const std::uint32_t n = static_cast<std::uint32_t>(domains_.size());
+        for (std::uint32_t d = next_domain_.fetch_add(1, std::memory_order_relaxed);
+             d < n; d = next_domain_.fetch_add(1, std::memory_order_relaxed)) {
+            try {
+                domains_[d].drain(window_end, cancel);
+            } catch (...) {
+                errors_[d] = std::current_exception();
+            }
+        }
+
+        lk.lock();
+        if (++finished_ == workers_.size())
+            cv_done_.notify_one();
+    }
+}
+
+void
+DomainExecutor::rethrow_phase_a_error()
+{
+    std::exception_ptr first;
+    for (std::exception_ptr &e : errors_) {
+        if (e && !first)
+            first = e;
+        e = nullptr;
+    }
+    if (first)
+        std::rethrow_exception(first);
+}
+
+void
+DomainExecutor::consume_group(std::uint32_t d)
+{
+    SimDomain &dom = domains_[d];
+    for (;;) {
+        const SimDomain::Op op = dom.next_op();
+        switch (op.kind) {
+          case SimDomain::Op::kSchedule:
+            // The ghost inherits the exact seq the serial simulator
+            // would have assigned to this domain event.
+            ghost_seqs_[d].push_back(eq_.next_seq_value());
+            eq_.schedule(op.when, GhostEvent{this, d});
+            break;
+          case SimDomain::Op::kChannel: {
+            ChannelMsg &m = channel_[d][op.a];
+            if (m.req.write_version & SimDomain::kVersionToken) {
+                const std::uint64_t idx = m.req.write_version & ~SimDomain::kVersionToken;
+                m.req.write_version = real_versions_[d][idx];
+            }
+            sys_.to_llc_direct(m.when, m.req, std::move(m.resp));
+            break;
+          }
+          case SimDomain::Op::kVersion:
+            real_versions_[d].push_back(sys_.store_.next_version());
+            break;
+          case SimDomain::Op::kInstr:
+            sys_.energy_.add_instructions(op.a);
+            break;
+          case SimDomain::Op::kL1:
+            sys_.energy_.add_l1_bytes(op.a);
+            break;
+          case SimDomain::Op::kEnd:
+            return;
+        }
+    }
+}
+
+void
+DomainExecutor::window_barrier()
+{
+    for (std::uint32_t d = 0; d < domains_.size(); ++d) {
+        SimDomain &dom = domains_[d];
+        dom.patch_provisional_seqs(ghost_seqs_[d]);
+        ghost_seqs_[d].clear();
+        for (const auto &[line, token] : dom.take_version_sinks()) {
+            const std::uint64_t idx = token & ~SimDomain::kVersionToken;
+            sys_.sms_[d]->l1().patch_version(line, token, real_versions_[d][idx]);
+        }
+        dom.absorb_inbox();
+        dom.reset_window_records();
+        channel_[d].clear();
+    }
+}
+
+void
+DomainExecutor::deliver_to_sm(std::uint32_t sm, Cycle when, EventFn fn)
+{
+    assert(sm < domains_.size());
+    assert(when >= window_end_ || workers_.empty());
+    const std::uint64_t seq = eq_.next_seq_value();
+    eq_.schedule(when, GhostEvent{this, sm});
+    domains_[sm].push_inbox(when, seq, std::move(fn));
+}
+
+void
+DomainExecutor::log_channel(Cycle when, const MemRequest &req, RespFn resp)
+{
+    assert(req.requester_sm < domains_.size());
+    const std::uint32_t d = req.requester_sm;
+    domains_[d].log_channel(channel_[d].size());
+    channel_[d].push_back(ChannelMsg{when, req, std::move(resp)});
+}
+
+} // namespace morpheus

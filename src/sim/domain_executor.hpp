@@ -1,0 +1,130 @@
+#ifndef MORPHEUS_SIM_DOMAIN_EXECUTOR_HPP_
+#define MORPHEUS_SIM_DOMAIN_EXECUTOR_HPP_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "gpu/mem_request.hpp"
+#include "sim/sim_domain.hpp"
+#include "sim/types.hpp"
+
+namespace morpheus {
+
+class GpuSystem;
+
+/**
+ * Conservative-window parallel driver for one GpuSystem
+ * (docs/ARCHITECTURE.md "Parallel execution").
+ *
+ * Partitioning: each compute SM (core + L1 + workload slice) is one
+ * SimDomain; the memory side — crossbar, LLC partitions, Morpheus
+ * controllers/extended space, DRAM, backing store, energy model — stays
+ * on the original global EventQueue (the *spine*). The crossbar hop
+ * latency is the only cross-domain delay, so it bounds the lookahead:
+ * with window [W, W + hop) no event executed inside the window can
+ * affect another domain before the window's end.
+ *
+ * Each window runs three phases:
+ *   A. every domain drains its events with `when < window_end` on a
+ *      worker thread, logging a record group per event;
+ *   C. the spine runs run_until(window_end - 1) single-threaded; each
+ *      domain event appears here as a *ghost* that replays its record
+ *      group (true seq assignment, channel sends, version allocation,
+ *      energy accumulation) at the exact serial position;
+ *   B. barrier: provisional seqs are patched to the true spine seqs,
+ *      version placeholders are resolved into L1 state, inboxes are
+ *      absorbed, record streams reset.
+ *
+ * Cross-domain delivery order is fixed by (cycle, spine seq) — the seq
+ * a response ghost gets on the spine, which is itself deterministic —
+ * never by thread arrival, so `--run-threads N` reports are
+ * byte-identical to `--run-threads 1` and to the serial simulator.
+ */
+class DomainExecutor final : public DomainDeliverySink
+{
+  public:
+    DomainExecutor(GpuSystem &sys, unsigned threads);
+    ~DomainExecutor() override;
+
+    DomainExecutor(const DomainExecutor &) = delete;
+    DomainExecutor &operator=(const DomainExecutor &) = delete;
+
+    /** Mirrors GpuSystem::begin(): arms the workload and bootstraps
+     *  every SM through its domain (serial seq parity from event 0). */
+    void begin();
+
+    /** Runs every event with `when <= stop` (window loop). */
+    void advance(Cycle stop, const std::atomic<bool> *cancel);
+
+    /** Number of window barriers executed (micro-benchmarks). */
+    std::uint64_t windows() const { return windows_; }
+
+    // DomainDeliverySink
+    void deliver_to_sm(std::uint32_t sm, Cycle when, EventFn fn) override;
+
+    /** GpuSystem::to_llc in parallel mode: records the request as a
+     *  channel op replayed on the spine in serial order. */
+    void log_channel(Cycle when, const MemRequest &req, RespFn resp);
+
+    /** Replays one record group of domain @p d on the spine (called by
+     *  ghost events and by begin()). */
+    void consume_group(std::uint32_t d);
+
+  private:
+    struct ChannelMsg
+    {
+        Cycle when;
+        MemRequest req;
+        RespFn resp;
+    };
+
+    void run_phase_a(Cycle window_end, const std::atomic<bool> *cancel);
+    void window_barrier();
+    void worker_main();
+    void drain_range(Cycle window_end, const std::atomic<bool> *cancel);
+    void rethrow_phase_a_error();
+    Cycle earliest_pending() const;
+
+    GpuSystem &sys_;
+    EventQueue &eq_;
+    const Cycle lookahead_;
+    std::vector<SimDomain> domains_;
+
+    /** @name Per-domain executor-side streams */
+    ///@{
+    /** True spine seqs of this window's ghosts, in birth order. */
+    std::vector<std::vector<std::uint64_t>> ghost_seqs_;
+    /** Real write versions, indexed by placeholder token (never reset:
+     *  tokens can outlive their birth window inside in-flight requests). */
+    std::vector<std::vector<std::uint64_t>> real_versions_;
+    /** This window's cross-domain request payloads. */
+    std::vector<std::vector<ChannelMsg>> channel_;
+    ///@}
+
+    std::uint64_t windows_ = 0;
+
+    /** @name Worker pool (phase A fan-out) */
+    ///@{
+    unsigned nthreads_;
+    std::vector<std::thread> workers_;
+    std::mutex m_;
+    std::condition_variable cv_work_;
+    std::condition_variable cv_done_;
+    std::uint64_t generation_ = 0;
+    Cycle window_end_ = 0;
+    const std::atomic<bool> *cancel_ = nullptr;
+    std::atomic<std::uint32_t> next_domain_{0};
+    unsigned finished_ = 0;
+    bool shutdown_ = false;
+    std::vector<std::exception_ptr> errors_;
+    ///@}
+};
+
+} // namespace morpheus
+
+#endif // MORPHEUS_SIM_DOMAIN_EXECUTOR_HPP_

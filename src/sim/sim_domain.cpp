@@ -1,0 +1,13 @@
+#include "sim/sim_domain.hpp"
+
+#include "sim/event_queue.hpp"
+
+namespace morpheus {
+
+void
+SimDomain::throw_cancelled()
+{
+    throw SimulationCancelled("simulation cancelled");
+}
+
+} // namespace morpheus

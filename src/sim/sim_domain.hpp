@@ -1,0 +1,321 @@
+#ifndef MORPHEUS_SIM_SIM_DOMAIN_HPP_
+#define MORPHEUS_SIM_SIM_DOMAIN_HPP_
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/event_fn.hpp"
+#include "sim/types.hpp"
+
+namespace morpheus {
+
+/**
+ * Delivery hook for cross-domain responses (memory side -> SM domain).
+ * In parallel runs the DomainExecutor implements this and routes the
+ * callback through the target domain's inbox with a deterministic
+ * sequence number; serial runs never install a sink and schedule on the
+ * global EventQueue directly (FabricContext::deliver_to_sm).
+ */
+class DomainDeliverySink
+{
+  public:
+    virtual ~DomainDeliverySink() = default;
+
+    /** Schedules @p fn at @p when inside SM domain @p sm. */
+    virtual void deliver_to_sm(std::uint32_t sm, Cycle when, EventFn fn) = 0;
+};
+
+/**
+ * One simulation domain: a private calendar of events owned by exactly
+ * one worker thread per conservative time window (docs/ARCHITECTURE.md
+ * "Parallel execution").
+ *
+ * Each GPU SM (core + L1 + its workload slice) is one domain. The
+ * memory side (crossbar, LLC partitions, Morpheus controllers, DRAM,
+ * backing store, energy counters) stays on the original global
+ * EventQueue — the "spine" — which the executor drains single-threaded
+ * between domain phases.
+ *
+ * Determinism contract: every event a domain executes appends one
+ * *record group* (the sequence of side effects the serial simulator
+ * would have produced on the spine, terminated by kEnd). The executor
+ * replays those groups on the spine in the exact serial order by
+ * scheduling one 16-byte *ghost* event per domain event; because ghosts
+ * carry the true global sequence numbers, all spine state — sequence
+ * counters, float accumulation order, port reservation order, version
+ * clock — evolves bit-identically to a serial run.
+ *
+ * Events born inside a window get a *provisional* sequence number
+ * (kProvisionalSeq | window-local birth index), which orders them after
+ * every event that already owns a true sequence number — exactly where
+ * the serial schedule would place them. At the window barrier the
+ * executor patches each provisional seq to the true global seq its
+ * ghost received on the spine.
+ */
+class SimDomain
+{
+  public:
+    /** Returned by next_when() when the domain has no pending events. */
+    static constexpr Cycle kNoEvent = ~Cycle{0};
+
+    /** High bit marking a window-local provisional sequence number. */
+    static constexpr std::uint64_t kProvisionalSeq = 1ULL << 63;
+
+    /** High bit marking an unresolved write-version placeholder. */
+    static constexpr std::uint64_t kVersionToken = 1ULL << 63;
+
+    /** One side-effect record; groups are terminated by kEnd. */
+    struct Op
+    {
+        enum Kind : std::uint8_t
+        {
+            kSchedule, ///< domain-local schedule; `when` = event time
+            kChannel,  ///< cross-domain request; `a` = payload index
+            kVersion,  ///< version placeholder allocation
+            kInstr,    ///< energy: instruction count; `a` = count
+            kL1,       ///< energy: L1 bytes; `a` = bytes
+            kEnd,      ///< end of the current event's record group
+        };
+
+        Cycle when = 0;
+        std::uint64_t a = 0;
+        Kind kind = kEnd;
+    };
+
+    explicit SimDomain(std::uint32_t id) : id_(id) {}
+
+    SimDomain(SimDomain &&) = default;
+    SimDomain(const SimDomain &) = delete;
+    SimDomain &operator=(const SimDomain &) = delete;
+
+    std::uint32_t id() const { return id_; }
+    Cycle now() const { return now_; }
+    bool empty() const { return heap_.empty(); }
+    std::size_t pending() const { return heap_.size(); }
+
+    /** Earliest pending event time (inbox not included), or kNoEvent. */
+    Cycle next_when() const { return heap_.empty() ? kNoEvent : heap_.front().when; }
+
+    /**
+     * Schedules @p fn at @p when with a provisional sequence number and
+     * records a kSchedule op. Called (via FabricContext::sched) from
+     * component code running inside this domain's drain.
+     */
+    template <typename F>
+    void
+    schedule(Cycle when, F &&fn)
+    {
+        if (when < now_)
+            when = now_;
+        ops_.push_back(Op{when, 0, Op::kSchedule});
+        push(when, kProvisionalSeq | births_++, EventFn(std::forward<F>(fn)));
+    }
+
+    /** Records a cross-domain request op; @p payload_index identifies
+     *  the executor-side payload (MemRequest + callback). */
+    void
+    log_channel(std::size_t payload_index)
+    {
+        ops_.push_back(Op{now_, static_cast<std::uint64_t>(payload_index), Op::kChannel});
+    }
+
+    /**
+     * Allocates a write-version placeholder and records a kVersion op.
+     * The executor replays the op on the spine (store->next_version() at
+     * the exact serial position) and patches every holder of the token
+     * at the window barrier.
+     */
+    std::uint64_t
+    alloc_version_placeholder()
+    {
+        ops_.push_back(Op{now_, 0, Op::kVersion});
+        return kVersionToken | version_allocs_++;
+    }
+
+    /** Records that cache state in this domain holds @p token for
+     *  @p line; patched via SetAssocCache::patch_version at the barrier. */
+    void
+    note_version_sink(LineAddr line, std::uint64_t token)
+    {
+        version_sinks_.push_back({line, token});
+    }
+
+    /** Energy-side-effect records, replayed on the spine in serial order. */
+    void log_energy_instr(std::uint64_t n) { ops_.push_back(Op{now_, n, Op::kInstr}); }
+    void log_energy_l1(std::uint64_t bytes) { ops_.push_back(Op{now_, bytes, Op::kL1}); }
+
+    /** Closes the current record group (used by drain() and by the
+     *  executor around bootstrap Sm::start() calls). */
+    void log_end_group() { ops_.push_back(Op{now_, 0, Op::kEnd}); }
+
+    /**
+     * Executes every pending event with `when < window_end` in
+     * (when, seq) order, appending one record group per event. Safe to
+     * call concurrently with other domains' drains: touches only this
+     * domain's state plus the components partitioned into it.
+     */
+    void
+    drain(Cycle window_end, const std::atomic<bool> *cancel)
+    {
+        std::uint32_t until_poll = kCancelCheckEvents;
+        while (!heap_.empty() && heap_.front().when < window_end) {
+            const Ent top = pop();
+            now_ = top.when;
+            EventFn fn = std::move(slots_[top.slot].fn);
+            slots_[top.slot].fn = EventFn();
+            free_slots_.push_back(top.slot);
+            fn();
+            log_end_group();
+            if (--until_poll == 0) {
+                until_poll = kCancelCheckEvents;
+                if (cancel && cancel->load(std::memory_order_relaxed))
+                    throw_cancelled();
+            }
+        }
+        if (now_ + 1 < window_end)
+            now_ = window_end - 1;
+    }
+
+    /** @name Barrier-side API (main thread, between windows) */
+    ///@{
+
+    /** Next record op of the stream being consumed; advances the cursor. */
+    const Op &
+    next_op()
+    {
+        assert(op_cursor_ < ops_.size());
+        return ops_[op_cursor_++];
+    }
+
+    /** Number of events born (provisionally scheduled) this window. */
+    std::uint64_t births() const { return births_; }
+
+    /**
+     * Rewrites every provisional sequence number to the true global seq
+     * its ghost received on the spine (@p true_seqs indexed by birth
+     * order), then resets the window birth counter. Heap order is
+     * preserved: the patch is monotone in birth order relative to all
+     * existing true seqs.
+     */
+    void
+    patch_provisional_seqs(const std::vector<std::uint64_t> &true_seqs)
+    {
+        assert(true_seqs.size() == births_);
+        for (Ent &e : heap_) {
+            if (e.seq & kProvisionalSeq)
+                e.seq = true_seqs[e.seq & ~kProvisionalSeq];
+        }
+        births_ = 0;
+    }
+
+    /** Pushes a cross-domain delivery (true spine seq) into the inbox. */
+    void
+    push_inbox(Cycle when, std::uint64_t seq, EventFn fn)
+    {
+        inbox_.push_back(Inbox{when, seq, std::move(fn)});
+    }
+
+    /** Moves every inbox entry into the calendar. */
+    void
+    absorb_inbox()
+    {
+        for (Inbox &in : inbox_)
+            push(in.when, in.seq, std::move(in.fn));
+        inbox_.clear();
+    }
+
+    /** Hands the window's (line, token) version sinks to the executor. */
+    std::vector<std::pair<LineAddr, std::uint64_t>>
+    take_version_sinks()
+    {
+        return std::exchange(version_sinks_, {});
+    }
+
+    /** Clears the fully-consumed record stream at the window barrier. */
+    void
+    reset_window_records()
+    {
+        assert(op_cursor_ == ops_.size());
+        ops_.clear();
+        op_cursor_ = 0;
+    }
+    ///@}
+
+  private:
+    static constexpr std::uint32_t kCancelCheckEvents = 4096;
+
+    struct Slot
+    {
+        EventFn fn;
+    };
+
+    struct Ent
+    {
+        Cycle when;
+        std::uint64_t seq;
+        std::uint32_t slot;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Ent &a, const Ent &b) const
+        {
+            return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+        }
+    };
+
+    [[noreturn]] static void throw_cancelled();
+
+    void
+    push(Cycle when, std::uint64_t seq, EventFn fn)
+    {
+        std::uint32_t slot;
+        if (!free_slots_.empty()) {
+            slot = free_slots_.back();
+            free_slots_.pop_back();
+            slots_[slot].fn = std::move(fn);
+        } else {
+            slot = static_cast<std::uint32_t>(slots_.size());
+            slots_.push_back(Slot{std::move(fn)});
+        }
+        heap_.push_back(Ent{when, seq, slot});
+        std::push_heap(heap_.begin(), heap_.end(), Later{});
+    }
+
+    Ent
+    pop()
+    {
+        std::pop_heap(heap_.begin(), heap_.end(), Later{});
+        const Ent e = heap_.back();
+        heap_.pop_back();
+        return e;
+    }
+
+    struct Inbox
+    {
+        Cycle when;
+        std::uint64_t seq;
+        EventFn fn;
+    };
+
+    std::uint32_t id_;
+    Cycle now_ = 0;
+    std::vector<Ent> heap_;
+    std::vector<Slot> slots_;
+    std::vector<std::uint32_t> free_slots_;
+    std::vector<Inbox> inbox_;
+    std::vector<Op> ops_;
+    std::size_t op_cursor_ = 0;
+    std::uint64_t births_ = 0;
+    std::uint64_t version_allocs_ = 0;
+    std::vector<std::pair<LineAddr, std::uint64_t>> version_sinks_;
+};
+
+} // namespace morpheus
+
+#endif // MORPHEUS_SIM_SIM_DOMAIN_HPP_

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Byte-identity gates for the domain-partitioned parallel execution mode:
+ * every registered scenario must produce the same bytes under any
+ * --run-threads x --jobs combination, and a `.mchk` checkpoint captured
+ * under one execution mode must restore under the other (in both
+ * directions) to a bit-identical RunResult.
+ */
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "gpu/gpu_system.hpp"
+#include "harness/checkpoint.hpp"
+#include "harness/report.hpp"
+#include "harness/runner.hpp"
+#include "harness/scenario.hpp"
+#include "sim/state_io.hpp"
+#include "workloads/synthetic_workload.hpp"
+
+using namespace morpheus;
+
+namespace {
+
+/** Pins the process-default run-thread count; restores on scope exit. */
+class ThreadsGuard
+{
+  public:
+    explicit ThreadsGuard(unsigned n) { set_default_run_threads(n); }
+    ~ThreadsGuard() { set_default_run_threads(0); }
+};
+
+struct ScenarioRun
+{
+    int rc = 0;
+    std::string text;
+    RunReport report{""};
+};
+
+ScenarioRun
+run_combo(const Scenario &s, unsigned run_threads, unsigned jobs)
+{
+    ScenarioRun out;
+    out.report = RunReport(s.name);
+    ScenarioOptions opts;
+    opts.jobs = jobs;
+    opts.report = &out.report;
+    std::ostringstream os;
+    opts.out = &os;
+    ThreadsGuard threads(run_threads);
+    out.rc = s.run(opts);
+    out.text = os.str();
+    return out;
+}
+
+std::string
+result_bytes(const RunResult &r)
+{
+    StateWriter w;
+    RunResult copy = r;
+    copy.state(w);
+    return w.bytes();
+}
+
+WorkloadParams
+cross_mode_app()
+{
+    WorkloadParams p;
+    p.name = "cross-mode";
+    p.pattern = PatternKind::kPrivateLoop;
+    p.alu_per_mem = 4;
+    p.shared_ws_bytes = 1 << 20;
+    p.per_warp_ws_bytes = 4 * 1024;
+    p.reuse_frac = 0.3;
+    p.hot_frac = 0.4;
+    p.warps_per_sm = 16;
+    p.write_frac = 0.2;
+    p.total_mem_instrs = 30'000;
+    return p;
+}
+
+SystemSetup
+cross_mode_setup()
+{
+    SystemSetup s;
+    s.compute_sms = 8;
+    s.morpheus.enabled = true;
+    s.morpheus.cache_sms = 4;
+    s.morpheus.prediction = PredictionMode::kBloom;
+    return s;
+}
+
+/** Captures a mid-run checkpoint at @p boundary under @p threads. */
+Checkpoint
+capture_under(unsigned threads, Cycle boundary)
+{
+    ThreadsGuard guard(threads);
+    const WorkloadParams p = cross_mode_app();
+    SyntheticWorkload wl(p);
+    GpuSystem sys(cross_mode_setup(), wl);
+    sys.begin_run();
+    sys.advance_to(boundary);
+    return capture_checkpoint(sys, p, boundary, false);
+}
+
+} // namespace
+
+TEST(ParallelDeterminism, EveryScenarioByteIdenticalAcrossModes)
+{
+    // Small enough that 6 combinations of every scenario stay test-sized;
+    // the combination grid is the contract from the parallel-execution
+    // design: report bytes never depend on --run-threads or --jobs.
+    setenv("MORPHEUS_WORK_SCALE", "0.01", 1);
+
+    const unsigned kThreads[] = {1, 2, 8};
+    const unsigned kJobs[] = {1, 4};
+    for (const Scenario &s : scenario_registry()) {
+        const ScenarioRun base = run_combo(s, 1, 1);
+        ASSERT_EQ(base.rc, 0) << s.name;
+        if (!base.report.deterministic())
+            continue; // wall-clock measurements (micro_components)
+        for (unsigned threads : kThreads) {
+            for (unsigned jobs : kJobs) {
+                if (threads == 1 && jobs == 1)
+                    continue;
+                const ScenarioRun run = run_combo(s, threads, jobs);
+                EXPECT_EQ(run.rc, base.rc) << s.name;
+                EXPECT_EQ(run.text, base.text)
+                    << s.name << " output differs at run_threads=" << threads
+                    << " jobs=" << jobs;
+                EXPECT_TRUE(reports_identical(base.report, run.report))
+                    << s.name << " report differs at run_threads=" << threads
+                    << " jobs=" << jobs;
+            }
+        }
+    }
+}
+
+TEST(ParallelDeterminism, CheckpointStateIdenticalAcrossModes)
+{
+    const Checkpoint serial = capture_under(1, 20'000);
+    const Checkpoint parallel = capture_under(8, 20'000);
+    EXPECT_EQ(serial.state, parallel.state);
+    EXPECT_EQ(serial.cycle, parallel.cycle);
+    EXPECT_EQ(serial.flags, parallel.flags);
+}
+
+TEST(ParallelDeterminism, CheckpointRestoresAcrossModes)
+{
+    // Reference: an uninterrupted serial run.
+    std::string ref;
+    {
+        ThreadsGuard guard(1);
+        ref = result_bytes(run_setup(cross_mode_setup(), cross_mode_app()));
+    }
+
+    // Serial capture -> parallel restore.
+    {
+        const Checkpoint ck = capture_under(1, 20'000);
+        ThreadsGuard guard(8);
+        EXPECT_EQ(result_bytes(restore_run(ck)), ref);
+    }
+
+    // Parallel capture -> serial restore.
+    {
+        const Checkpoint ck = capture_under(8, 20'000);
+        ThreadsGuard guard(1);
+        EXPECT_EQ(result_bytes(restore_run(ck)), ref);
+    }
+}

@@ -1,8 +1,42 @@
+#include <cstdint>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "cache/replacement.hpp"
+#include "sim/rng.hpp"
 
 using namespace morpheus;
+
+namespace {
+
+/** The pre-packing stamp-based LRU: last-touch stamps, victim = smallest
+ *  stamp with ties broken by the lowest way. Oracle for the packed-rank
+ *  representation. */
+class StampLruOracle
+{
+  public:
+    explicit StampLruOracle(std::uint32_t ways) : stamp_(ways, 0) {}
+
+    void touch(std::uint32_t way) { stamp_[way] = ++clock_; }
+
+    std::uint32_t
+    victim() const
+    {
+        std::uint32_t best = 0;
+        for (std::uint32_t w = 1; w < stamp_.size(); ++w) {
+            if (stamp_[w] < stamp_[best])
+                best = w;
+        }
+        return best;
+    }
+
+  private:
+    std::uint64_t clock_ = 0;
+    std::vector<std::uint64_t> stamp_;
+};
+
+} // namespace
 
 TEST(Replacement, LruEvictsLeastRecentlyTouched)
 {
@@ -38,6 +72,48 @@ TEST(Replacement, RandomIsDeterministicGivenSequence)
         b.insert(w);
     }
     EXPECT_EQ(a.victim(), b.victim());
+}
+
+TEST(Replacement, PackedLruMatchesStampOracleRandomized)
+{
+    // Every LRU width the packed representation covers, against the old
+    // stamp implementation, over random interleavings of touches,
+    // inserts, and victim queries (including redundant touches of the
+    // current MRU way and long untouched prefixes).
+    Rng rng(12345);
+    for (std::uint32_t ways : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 11u, 13u, 15u, 16u}) {
+        ReplacementState packed(ways, ReplacementKind::kLru);
+        StampLruOracle oracle(ways);
+        ASSERT_TRUE(packed.packed());
+        for (int step = 0; step < 20'000; ++step) {
+            const std::uint32_t way = static_cast<std::uint32_t>(rng.next_below(ways));
+            switch (rng.next_below(3)) {
+              case 0:
+                packed.touch(way);
+                oracle.touch(way);
+                break;
+              case 1:
+                packed.insert(way); // LRU insert == touch in both models
+                oracle.touch(way);
+                break;
+              default:
+                ASSERT_EQ(packed.victim(), oracle.victim())
+                    << "ways=" << ways << " step=" << step;
+                break;
+            }
+        }
+        EXPECT_EQ(packed.victim(), oracle.victim()) << "ways=" << ways;
+    }
+}
+
+TEST(Replacement, WideLruKeepsStampRepresentation)
+{
+    ReplacementState wide(32, ReplacementKind::kLru);
+    EXPECT_FALSE(wide.packed());
+    for (std::uint32_t w = 0; w < 32; ++w)
+        wide.insert(w);
+    wide.touch(0);
+    EXPECT_EQ(wide.victim(), 1u);
 }
 
 TEST(Replacement, Names)
