@@ -12,6 +12,7 @@
  *                [--format text|csv|json]
  *                [--trace FILE] [--output FILE] [--fault-plan SPEC]
  *                [--journal PATH] [--resume] [--timeout-ms N] [--retries N]
+ *                [--cache-dir DIR]
  *   morpheus_cli --all [--jobs N] [--run-threads N] [--format text|csv|json]
  *                [--output-dir DIR]
  *
@@ -34,7 +35,9 @@
  * specific .mtrc file (docs/TRACE_FORMAT.md; default: bench/traces/).
  * The fault-tolerance flags (--fault-plan, --journal, --resume,
  * --timeout-ms, --retries) are described in docs/ARCHITECTURE.md
- * "Reliability".
+ * "Reliability". --cache-dir DIR memoizes completed runs in a
+ * content-addressed on-disk store so reruns are served byte-identically
+ * from cache (docs/CACHE_FORMAT.md).
  *
  * App mode can snapshot the simulation: --checkpoint FILE writes a .mchk
  * checkpoint (docs/CHECKPOINT_FORMAT.md) — by default once, when the run
@@ -192,7 +195,7 @@ usage()
                  "       morpheus_cli --scenario <name> [--jobs N] [--run-threads N]"
                  " [--format text|csv|json]"
                  " [--trace FILE] [--output FILE] [--fault-plan SPEC] [--journal PATH]"
-                 " [--resume] [--timeout-ms N] [--retries N]\n"
+                 " [--resume] [--timeout-ms N] [--retries N] [--cache-dir DIR]\n"
                  "       morpheus_cli --all [--jobs N] [--run-threads N]"
                  " [--format text|csv|json]"
                  " [--output-dir DIR]\n"

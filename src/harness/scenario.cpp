@@ -8,11 +8,13 @@
 #include <cstring>
 #include <filesystem>
 #include <iostream>
+#include <optional>
 #include <system_error>
 
 #include "gpu/gpu_system.hpp"
 #include "harness/report.hpp"
 #include "harness/sweep_engine.hpp"
+#include "serve/result_cache.hpp"
 #include "workloads/app_catalog.hpp"
 
 namespace morpheus {
@@ -66,6 +68,21 @@ run_scenario_with_report(const Scenario &s, ScenarioOptions opts, const std::str
     report.set_jobs(opts.jobs ? opts.jobs : default_sweep_jobs());
     opts.report = &report;
     const ScopedRunThreads threads_guard(opts.run_threads);
+
+    // --cache-dir: memoize grid points in an on-disk content-addressed
+    // store (docs/CACHE_FORMAT.md). The cache outlives each SweepEngine
+    // the scenario builds, not the process — embedders that want a
+    // longer-lived store (the serve daemon) pass result_store directly.
+    std::optional<ResultCache> cache;
+    if (!opts.cache_dir.empty() && !opts.result_store) {
+        cache.emplace(opts.cache_dir);
+        if (!cache->ok()) {
+            std::fprintf(stderr, "cannot open result cache '%s': %s\n",
+                         opts.cache_dir.c_str(), cache->error().c_str());
+            return 1;
+        }
+        opts.result_store = &*cache;
+    }
 
     const auto begin = std::chrono::steady_clock::now();
     int rc = s.run(opts);
@@ -261,18 +278,20 @@ parse_scenario_flags(int argc, char **argv, const char *path_flag, ScenarioOptio
             if (!parse_u64_value(argv[++i], "--retries", v))
                 return false;
             opts.retries = static_cast<unsigned>(v);
+        } else if (std::strcmp(argv[i], "--cache-dir") == 0 && i + 1 < argc) {
+            opts.cache_dir = argv[++i];
         } else if (std::strcmp(argv[i], path_flag) == 0 && i + 1 < argc) {
             path = argv[++i];
         } else {
             const char *known[] = {"--jobs",       "--run-threads", "--format",
                                    "--trace",      "--fault-plan",  "--journal",
                                    "--resume",     "--timeout-ms",  "--retries",
-                                   path_flag};
+                                   "--cache-dir",  path_flag};
             suggest_flag(argv[i], known, sizeof(known) / sizeof(known[0]));
             std::fprintf(stderr,
                          "usage: %s [--jobs N] [--run-threads N] [--format text|csv|json] "
                          "[--trace FILE] [--fault-plan SPEC] [--journal PATH] [--resume] "
-                         "[--timeout-ms N] [--retries N] [%s PATH]\n",
+                         "[--timeout-ms N] [--retries N] [--cache-dir DIR] [%s PATH]\n",
                          argv[0], path_flag);
             return false;
         }

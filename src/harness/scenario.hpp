@@ -12,6 +12,7 @@
 namespace morpheus {
 
 class RunReport;
+class ResultStore;
 
 /** Exit code of a scenario that finished but had failed sweep jobs: the
  *  report was still written (with `failed` entries), distinct from both
@@ -50,6 +51,17 @@ struct ScenarioOptions
     bool resume = false;
     std::uint64_t timeout_ms = 0;
     unsigned retries = 1;
+    ///@}
+
+    /** @name Result memoization (docs/CACHE_FORMAT.md)
+     * `--cache-dir DIR` fills cache_dir; run_scenario_with_report then
+     * opens a ResultCache there and points result_store at it for the
+     * scenario's duration. Embedders (the serve daemon) set result_store
+     * directly and leave cache_dir empty.
+     */
+    ///@{
+    std::string cache_dir;
+    ResultStore *result_store = nullptr;
     ///@}
 };
 

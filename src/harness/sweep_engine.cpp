@@ -62,6 +62,7 @@ SweepEngine::configure(const ScenarioOptions &opts)
     cfg.timeout_ms = opts.timeout_ms;
     cfg.retries = opts.retries;
     cfg.tolerant = true;
+    cfg.store = opts.result_store;
     config_ = std::move(cfg);
 }
 
@@ -180,10 +181,23 @@ SweepEngine::run_all()
                     if (faulted && config_.fault.cycle > 0) {
                         rc.fault = config_.fault.action;
                         rc.fault_cycle = config_.fault.cycle;
-                    } else if (faulted) {
-                        harness_fault(config_.fault.action, slot.cancel);
                     }
-                    RunResult r = run_setup_controlled(job.setup, job.params, rc);
+                    // With a result store, each attempt is lookup-or-
+                    // (simulate + fill): faults fire inside the simulate
+                    // path only — a cached job never simulates, so there
+                    // is nothing to inject into, and a fault that kills
+                    // the fill leaves a miss to re-simulate (the crash-
+                    // safety drill).
+                    const std::function<RunResult()> attempt_run =
+                        [&]() -> RunResult {
+                        if (faulted && config_.fault.cycle == 0)
+                            harness_fault(config_.fault.action, slot.cancel);
+                        return run_setup_controlled(job.setup, job.params, rc);
+                    };
+                    RunResult r =
+                        config_.store
+                            ? config_.store->get_or_run(job.setup, job.params, attempt_run)
+                            : attempt_run();
                     slot.deadline_ms.store(-1);
                     writer.append(i, job.label, r);
                     return r;

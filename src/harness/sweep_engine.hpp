@@ -181,6 +181,32 @@ struct SweepJob
 bool run_results_identical(const RunResult &a, const RunResult &b);
 
 /**
+ * A memoizing result store the engine can consult before simulating
+ * (serve/result_cache.hpp implements it as an on-disk content-addressed
+ * cache keyed by the canonical (SystemSetup, WorkloadParams) bytes —
+ * a generalization of the journal's positional (index, label) key to a
+ * content key, so hits survive sweep reordering and cross sweeps).
+ *
+ * Contract: get_or_run() returns either a stored result for exactly this
+ * configuration or the value of @p run (storing it for next time), and a
+ * stored result must be bit-identical to what @p run would return — the
+ * engine's byte-identical-reports guarantee extends over cache hits.
+ * Exceptions from @p run propagate; failures are never stored. Must be
+ * thread-safe: worker threads call it concurrently.
+ */
+class ResultStore
+{
+  public:
+    virtual ~ResultStore() = default;
+
+    /** @param hit optional out-flag: true when the result came from the
+     *  store without running @p run. */
+    virtual RunResult get_or_run(const SystemSetup &setup, const WorkloadParams &params,
+                                 const std::function<RunResult()> &run,
+                                 bool *hit = nullptr) = 0;
+};
+
+/**
  * Fault-tolerance knobs of one sweep (docs/ARCHITECTURE.md
  * "Reliability"). Default-constructed config reproduces the classic
  * engine: no journal, no watchdog, exceptions rethrown.
@@ -208,6 +234,11 @@ struct SweepConfig
      *  (default RunResult in its positional slot) instead of rethrowing
      *  its exception out of run_all(). */
     bool tolerant = false;
+
+    /** Content-addressed memoization (`--cache-dir`): each attempt asks
+     *  the store first and fills it on a miss. Not owned; nullptr (the
+     *  default) simulates every job. */
+    ResultStore *store = nullptr;
 };
 
 /**

@@ -1,0 +1,213 @@
+#include "serve/serve.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "harness/json.hpp"
+#include "harness/report.hpp"
+#include "harness/runner.hpp"
+#include "harness/scenario.hpp"
+#include "harness/system_config.hpp"
+#include "workloads/app_catalog.hpp"
+
+namespace morpheus {
+namespace {
+
+/** JSON string escaping for embedding a multi-line document in a
+ *  single-line response (mirrors the report writer's escaping, so the
+ *  client's parser round-trips the report byte-exactly). */
+void
+append_escaped(std::string &out, const std::string &s)
+{
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+}
+
+std::string
+error_response(const std::string &message)
+{
+    std::string out = "{\"status\": \"error\", \"error\": \"";
+    append_escaped(out, message);
+    out += "\"}";
+    return out;
+}
+
+/** Reverse of system_name(): accepts every paper-style name. */
+bool
+parse_system_kind(const std::string &name, SystemKind &out)
+{
+    static const SystemKind kAll[] = {
+        SystemKind::kBL,           SystemKind::kIBL,
+        SystemKind::kIBL4xLLC,     SystemKind::kFrequencyBoost,
+        SystemKind::kUnifiedSmMem, SystemKind::kMorpheusBasic,
+        SystemKind::kMorpheusCompression, SystemKind::kMorpheusIndirectMov,
+        SystemKind::kMorpheusAll,  SystemKind::kLargerLlc,
+    };
+    for (SystemKind k : kAll) {
+        if (name == system_name(k)) {
+            out = k;
+            return true;
+        }
+    }
+    return false;
+}
+
+/** One {"status":"ok", ...} line embedding @p report (env zeroed by the
+ *  caller) and this request's cache hit/miss deltas. */
+std::string
+ok_report_response(const char *op, const RunReport &report, std::uint64_t hits,
+                   std::uint64_t misses)
+{
+    std::string out = "{\"status\": \"ok\", \"op\": \"";
+    out += op;
+    out += "\", \"hits\": " + std::to_string(hits);
+    out += ", \"misses\": " + std::to_string(misses);
+    out += ", \"report\": \"";
+    append_escaped(out, report.to_json());
+    out += "\"}";
+    return out;
+}
+
+} // namespace
+
+ServeHandler::ServeHandler(const std::string &cache_dir, unsigned jobs)
+    : cache_(cache_dir), jobs_(jobs)
+{
+}
+
+std::string
+ServeHandler::handle_line(const std::string &line, bool &shutdown)
+{
+    JsonValue req;
+    std::string error;
+    if (!parse_json_value(line, req, error))
+        return error_response("bad request: " + error);
+    if (req.type != JsonValue::Type::kObject)
+        return error_response("bad request: expected a JSON object");
+    const std::string op = req.string_or("op", "");
+    if (op.empty())
+        return error_response("bad request: missing \"op\"");
+
+    if (op == "ping")
+        return "{\"status\": \"ok\", \"op\": \"ping\"}";
+
+    if (op == "shutdown") {
+        shutdown = true;
+        return "{\"status\": \"ok\", \"op\": \"shutdown\"}";
+    }
+
+    if (op == "stats") {
+        const CacheStats &s = cache_.stats();
+        std::string out = "{\"status\": \"ok\", \"op\": \"stats\"";
+        out += ", \"cache_ok\": " + std::string(cache_.ok() ? "true" : "false");
+        out += ", \"hits\": " + std::to_string(s.hits.load());
+        out += ", \"misses\": " + std::to_string(s.misses.load());
+        out += ", \"stores\": " + std::to_string(s.stores.load());
+        out += ", \"evictions\": " + std::to_string(s.evictions.load());
+        out += "}";
+        return out;
+    }
+
+    const std::uint64_t hits0 = cache_.stats().hits.load();
+    const std::uint64_t misses0 = cache_.stats().misses.load();
+
+    if (op == "run") {
+        const std::string app_name = req.string_or("app", "");
+        if (app_name.empty())
+            return error_response("run: missing \"app\"");
+        const AppSpec *app = find_app(app_name);
+        if (!app)
+            return error_response("run: unknown app '" + app_name + "'");
+        const std::string system = req.string_or("system", "Morpheus-ALL");
+        SystemKind kind;
+        if (!parse_system_kind(system, kind))
+            return error_response("run: unknown system '" + system + "'");
+        SystemSetup setup = make_system(kind, *app);
+        const double compute_sms = req.number_or("compute_sms", -1);
+        if (compute_sms >= 0)
+            setup.compute_sms = static_cast<std::uint32_t>(compute_sms);
+        const double cache_sms = req.number_or("cache_sms", -1);
+        if (cache_sms >= 0)
+            setup.morpheus.cache_sms = static_cast<std::uint32_t>(cache_sms);
+
+        RunReport report("serve_run");
+        report.set_work_scale(work_scale());
+        report.set_jobs(0);
+        try {
+            const auto simulate = [&] { return run_setup(setup, app->params); };
+            const RunResult r = cache_.ok()
+                                    ? cache_.get_or_run(setup, app->params, simulate)
+                                    : simulate();
+            report.add_run(app_name + "@" + system, r);
+        } catch (const std::exception &ex) {
+            return error_response(std::string("run failed: ") + ex.what());
+        }
+        return ok_report_response("run", report, cache_.stats().hits.load() - hits0,
+                                  cache_.stats().misses.load() - misses0);
+    }
+
+    if (op == "scenario") {
+        const std::string name = req.string_or("name", "");
+        if (name.empty())
+            return error_response("scenario: missing \"name\"");
+        const Scenario *sc = find_scenario(name);
+        if (!sc)
+            return error_response("scenario: unknown scenario '" + name + "'");
+
+        RunReport report(sc->name);
+        report.set_work_scale(work_scale());
+        report.set_jobs(0);
+        ScenarioOptions opts;
+        opts.jobs = static_cast<unsigned>(req.number_or("jobs", jobs_));
+        opts.report = &report;
+        if (cache_.ok())
+            opts.result_store = &cache_;
+        // Tables go nowhere: the daemon's product is the report.
+        std::ostringstream sink;
+        opts.out = &sink;
+        int rc;
+        try {
+            rc = sc->run(opts);
+        } catch (const std::exception &ex) {
+            return error_response(std::string("scenario failed: ") + ex.what());
+        }
+        if (rc != 0)
+            return error_response("scenario '" + name + "' exited with code " +
+                                  std::to_string(rc));
+        if (report.has_failures())
+            return error_response("scenario '" + name + "' had failed jobs");
+        return ok_report_response("scenario", report, cache_.stats().hits.load() - hits0,
+                                  cache_.stats().misses.load() - misses0);
+    }
+
+    return error_response("unknown op '" + op + "'");
+}
+
+} // namespace morpheus

@@ -1,0 +1,67 @@
+#ifndef MORPHEUS_SERVE_SERVE_HPP_
+#define MORPHEUS_SERVE_SERVE_HPP_
+
+/**
+ * @file
+ * Request handling for the morpheus_serve daemon (tools/morpheus_serve.cpp,
+ * docs/ARCHITECTURE.md "Serving").
+ *
+ * The wire protocol is newline-delimited JSON: each request is one JSON
+ * object on one line, answered by one JSON object on one line. The
+ * transport (an AF_UNIX socket in the daemon, a string pair in tests) is
+ * deliberately outside this class — handle_line() is a pure
+ * request→response function over a shared ResultCache, so the torture
+ * tests drive the exact production code path without sockets.
+ *
+ * Requests ({"op": ...}):
+ *   ping      → liveness probe
+ *   run       → one simulation: {"app": NAME, "system": SYSTEM?,
+ *               "compute_sms": N?, "cache_sms": N?}
+ *   scenario  → a full registered scenario: {"name": NAME, "jobs": N?}
+ *   stats     → cache counters
+ *   shutdown  → stop accepting work (daemon exits)
+ *
+ * run/scenario responses embed the canonical BENCH report JSON as an
+ * escaped string field ("report"), with the environment fields (jobs,
+ * wall_ms) zeroed — so the response for a given configuration is
+ * byte-identical whether it was simulated or served from cache, across
+ * any worker count (tests/test_serve_concurrency.cpp).
+ */
+
+#include <string>
+
+#include "serve/result_cache.hpp"
+
+namespace morpheus {
+
+class ServeHandler
+{
+  public:
+    /** @param cache_dir result-cache directory (created if absent).
+     *  @param jobs default sweep worker count for scenario requests
+     *  (0 = default_sweep_jobs()). */
+    explicit ServeHandler(const std::string &cache_dir, unsigned jobs = 0);
+
+    /** False when the cache directory could not be opened; requests are
+     *  still served, just uncached. */
+    bool cache_ok() const { return cache_.ok(); }
+    const std::string &cache_error() const { return cache_.error(); }
+    ResultCache &cache() { return cache_; }
+
+    /**
+     * Handles one request line; returns one response line (no trailing
+     * newline). Malformed or unknown requests yield a
+     * {"status":"error",...} response, never an exception. Sets
+     * @p shutdown on a shutdown request. Thread-safe: connection threads
+     * call this concurrently and share the cache.
+     */
+    std::string handle_line(const std::string &line, bool &shutdown);
+
+  private:
+    ResultCache cache_;
+    unsigned jobs_;
+};
+
+} // namespace morpheus
+
+#endif // MORPHEUS_SERVE_SERVE_HPP_

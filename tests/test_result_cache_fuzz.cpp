@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Torture tests for the result-cache entry format (docs/CACHE_FORMAT.md):
+ * every truncation, every single-byte mutation, random splices, crafted
+ * bad headers, and pure garbage must be rejected AND evicted — the cache
+ * never serves bytes it cannot fully validate, and never crashes on
+ * them. The CI sanitize job (ASan+UBSan, halt_on_error) runs this
+ * binary, which upgrades "rejected" to "provably no UB".
+ *
+ * The reject-everything invariant is airtight by construction: all six
+ * header fields are validated exactly (magic, version, key, payload
+ * size, payload digest, zero reserved word), and a single-byte change
+ * anywhere in the payload always changes its FNV-1a digest (each
+ * absorb step is injective), so no single-byte corruption can slip
+ * through.
+ */
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "harness/sweep_engine.hpp"
+#include "serve/result_cache.hpp"
+#include "sim/rng.hpp"
+#include "sim/state_io.hpp"
+
+using namespace morpheus;
+
+namespace {
+
+/** A deterministic hand-built result: the fuzz corpus seed (no
+ *  simulation needed; the cache stores any RunResult bit-exactly). */
+RunResult
+seed_result()
+{
+    RunResult r;
+    r.workload = "fuzz-seed";
+    r.cycles = 123'456;
+    r.instructions = 789'012;
+    r.ipc = 6.394;
+    r.l1_hits = 1111;
+    r.l1_misses = 222;
+    r.llc_accesses = 3333;
+    r.llc_hits = 2000;
+    r.llc_misses = 1333;
+    r.ext_requests = 444;
+    r.ext_hits = 300;
+    r.ext_misses = 144;
+    r.dram_reads = 555;
+    r.dram_writes = 66;
+    r.mpki = 1.687;
+    r.energy.dram_j = 0.25;
+    r.avg_watts = 87.5;
+    return r;
+}
+
+class FuzzCache : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = std::string(::testing::TempDir()) + "morpheus_cache_fuzz";
+        std::filesystem::remove_all(dir_);
+        cache_ = std::make_unique<ResultCache>(dir_);
+        ASSERT_TRUE(cache_->ok()) << cache_->error();
+        key_ = 0x1122334455667788ULL;
+        ASSERT_TRUE(cache_->store(key_, seed_result()));
+        std::ifstream in(cache_->entry_path(key_), std::ios::binary);
+        valid_.assign(std::istreambuf_iterator<char>(in), {});
+        ASSERT_GE(valid_.size(), 40u);
+    }
+
+    void TearDown() override { std::filesystem::remove_all(dir_); }
+
+    /** Writes @p bytes as the entry for key_. */
+    void
+    plant(const std::string &bytes)
+    {
+        std::ofstream out(cache_->entry_path(key_), std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    }
+
+    /** The corrupted entry must be rejected, evicted from disk, and must
+     *  not disturb later stores. */
+    void
+    expect_rejected_and_evicted(const std::string &bytes)
+    {
+        plant(bytes);
+        RunResult out;
+        ASSERT_FALSE(cache_->lookup(key_, out));
+        EXPECT_FALSE(std::filesystem::exists(cache_->entry_path(key_)));
+        // The slot is reusable: a fresh store round-trips.
+        ASSERT_TRUE(cache_->store(key_, seed_result()));
+        ASSERT_TRUE(cache_->lookup(key_, out));
+        EXPECT_TRUE(run_results_identical(out, seed_result()));
+    }
+
+    std::string dir_;
+    std::unique_ptr<ResultCache> cache_;
+    std::uint64_t key_ = 0;
+    std::string valid_;
+};
+
+} // namespace
+
+TEST_F(FuzzCache, ValidEntryRoundTrips)
+{
+    RunResult out;
+    ASSERT_TRUE(cache_->lookup(key_, out));
+    EXPECT_TRUE(run_results_identical(out, seed_result()));
+    EXPECT_EQ(cache_->stats().evictions.load(), 0u);
+}
+
+TEST_F(FuzzCache, AllTruncationsRejected)
+{
+    // Every proper prefix — mid-header, header-only, mid-payload — is a
+    // torn write and must be evicted, never parsed.
+    for (std::size_t len = 0; len < valid_.size(); ++len) {
+        plant(valid_.substr(0, len));
+        RunResult out;
+        ASSERT_FALSE(cache_->lookup(key_, out)) << "prefix of " << len << " bytes served";
+        EXPECT_FALSE(std::filesystem::exists(cache_->entry_path(key_)))
+            << "prefix of " << len << " bytes not evicted";
+    }
+    EXPECT_EQ(cache_->stats().evictions.load(), valid_.size());
+}
+
+TEST_F(FuzzCache, EverySingleByteMutationRejected)
+{
+    // Exhaustive over positions, randomized over values: no single-byte
+    // corruption anywhere in the file may survive validation.
+    Rng rng(0xCAC4'E001);
+    for (std::size_t at = 0; at < valid_.size(); ++at) {
+        std::string bytes = valid_;
+        bytes[at] = static_cast<char>(
+            static_cast<unsigned char>(bytes[at]) ^
+            static_cast<unsigned char>(1 + rng.next_below(255)));
+        plant(bytes);
+        RunResult out;
+        ASSERT_FALSE(cache_->lookup(key_, out)) << "mutation at byte " << at << " served";
+        EXPECT_FALSE(std::filesystem::exists(cache_->entry_path(key_)));
+    }
+}
+
+TEST_F(FuzzCache, ThousandsOfRandomMutationsRejected)
+{
+    Rng rng(0xCAC4'E002);
+    for (int iter = 0; iter < 3000; ++iter) {
+        std::string bytes = valid_;
+        const int edits = 1 + static_cast<int>(rng.next_below(8));
+        for (int e = 0; e < edits; ++e) {
+            switch (rng.next_below(4)) {
+              case 0: // flip a byte
+                bytes[rng.next_below(bytes.size())] ^=
+                    static_cast<char>(1 + rng.next_below(255));
+                break;
+              case 1: // truncate
+                bytes.resize(rng.next_below(bytes.size() + 1));
+                break;
+              case 2: // append garbage
+                for (std::size_t n = rng.next_below(16) + 1; n; --n)
+                    bytes.push_back(static_cast<char>(rng.next_below(256)));
+                break;
+              default: // splice a window elsewhere
+                if (bytes.size() > 8) {
+                    const std::size_t src = rng.next_below(bytes.size() - 4);
+                    const std::size_t dst = rng.next_below(bytes.size() - 4);
+                    bytes.replace(dst, 4, bytes, src, 4);
+                }
+                break;
+            }
+        }
+        if (bytes == valid_)
+            continue; // edits cancelled out; nothing to reject
+        plant(bytes);
+        RunResult out;
+        ASSERT_FALSE(cache_->lookup(key_, out)) << "iteration " << iter << " served";
+        EXPECT_FALSE(std::filesystem::exists(cache_->entry_path(key_)));
+    }
+}
+
+TEST_F(FuzzCache, PureGarbageRejected)
+{
+    Rng rng(0xCAC4'E003);
+    for (int iter = 0; iter < 200; ++iter) {
+        std::string bytes;
+        for (std::size_t n = rng.next_below(512); n; --n)
+            bytes.push_back(static_cast<char>(rng.next_below(256)));
+        plant(bytes);
+        RunResult out;
+        ASSERT_FALSE(cache_->lookup(key_, out)) << "iteration " << iter;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Crafted corruptions — one per validation rule, so each check is
+// individually load-bearing.
+
+TEST_F(FuzzCache, WrongMagicRejected)
+{
+    std::string bytes = valid_;
+    bytes[0] = 'X';
+    expect_rejected_and_evicted(bytes);
+}
+
+TEST_F(FuzzCache, StaleFormatVersionRejected)
+{
+    // A future (or ancient) format version must never be reinterpreted —
+    // the invalidation story of docs/CACHE_FORMAT.md hangs on this.
+    std::string bytes = valid_;
+    const std::uint32_t stale = kResultCacheVersion + 1;
+    std::memcpy(&bytes[4], &stale, sizeof stale);
+    expect_rejected_and_evicted(bytes);
+}
+
+TEST_F(FuzzCache, KeyMismatchRejected)
+{
+    // An entry renamed (or hard-linked) to another key's filename is a
+    // poisoned lookup: the header key must match the requested key.
+    std::string bytes = valid_;
+    const std::uint64_t other = key_ ^ 1;
+    std::memcpy(&bytes[8], &other, sizeof other);
+    expect_rejected_and_evicted(bytes);
+}
+
+TEST_F(FuzzCache, BadPayloadDigestRejected)
+{
+    std::string bytes = valid_;
+    bytes[28] ^= 0x40; // payload_digest field (bytes 24..31)
+    expect_rejected_and_evicted(bytes);
+}
+
+TEST_F(FuzzCache, OversizedPayloadSizeRejected)
+{
+    // A huge claimed size must not drive a huge read or allocation; the
+    // declared size must equal the actual payload exactly.
+    std::string bytes = valid_;
+    const std::uint64_t huge = 1ULL << 60;
+    std::memcpy(&bytes[16], &huge, sizeof huge);
+    expect_rejected_and_evicted(bytes);
+}
+
+TEST_F(FuzzCache, NonzeroReservedRejected)
+{
+    std::string bytes = valid_;
+    bytes[39] = 0x01; // last reserved byte
+    expect_rejected_and_evicted(bytes);
+}
+
+TEST_F(FuzzCache, TrailingBytesRejected)
+{
+    // Extra bytes after a digest-valid payload mean the writer and
+    // reader disagree about the format; never trust the prefix.
+    std::string bytes = valid_;
+    bytes += "extra";
+    expect_rejected_and_evicted(bytes);
+}
+
+TEST_F(FuzzCache, HeaderOnlyAndEmptyFilesRejected)
+{
+    expect_rejected_and_evicted(valid_.substr(0, 40));
+    expect_rejected_and_evicted("");
+}
+
+TEST_F(FuzzCache, DigestValidWrongShapePayloadRejected)
+{
+    // A header whose size and digest match a payload that is NOT a
+    // serialized RunResult (e.g. written by a different tool version
+    // under the same format id): StateReader's shape checks are the
+    // last line of defense.
+    const std::string payload = "these are not RunResult bytes....";
+    std::string bytes(40, '\0');
+    const std::uint32_t magic = kResultCacheMagic, version = kResultCacheVersion;
+    const std::uint64_t size = payload.size(), digest = fnv1a64(payload), zero = 0;
+    std::memcpy(&bytes[0], &magic, 4);
+    std::memcpy(&bytes[4], &version, 4);
+    std::memcpy(&bytes[8], &key_, 8);
+    std::memcpy(&bytes[16], &size, 8);
+    std::memcpy(&bytes[24], &digest, 8);
+    std::memcpy(&bytes[32], &zero, 8);
+    bytes += payload;
+    expect_rejected_and_evicted(bytes);
+}

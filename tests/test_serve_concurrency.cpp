@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Concurrency guarantees of the serving layer (serve/serve.hpp):
+ * single-flight — N concurrent requests for one uncached configuration
+ * cost exactly one simulation; byte-identity — every response for a
+ * given request is the same string, whether simulated or served from
+ * cache, at any worker count. The CI TSan job runs this binary.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/json.hpp"
+#include "harness/report.hpp"
+#include "harness/sweep_engine.hpp"
+#include "serve/serve.hpp"
+
+using namespace morpheus;
+
+namespace {
+
+WorkloadParams
+tiny_app(const char *name)
+{
+    WorkloadParams p;
+    p.name = name;
+    p.pattern = PatternKind::kPrivateLoop;
+    p.alu_per_mem = 4;
+    p.shared_ws_bytes = 1 << 20;
+    p.per_warp_ws_bytes = 4 * 1024;
+    p.warps_per_sm = 8;
+    p.total_mem_instrs = 8'000;
+    return p;
+}
+
+class TempCacheDir
+{
+  public:
+    explicit TempCacheDir(const char *tag)
+        : path_(std::string(::testing::TempDir()) + "morpheus_serve_" + tag)
+    {
+        std::filesystem::remove_all(path_);
+    }
+    ~TempCacheDir() { std::filesystem::remove_all(path_); }
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// ResultCache single-flight
+
+TEST(ServeConcurrency, SingleFlightRunsOneSimulationForNThreads)
+{
+    TempCacheDir dir("singleflight");
+    ResultCache cache(dir.path());
+    ASSERT_TRUE(cache.ok()) << cache.error();
+
+    SystemSetup setup;
+    setup.compute_sms = 6;
+    const WorkloadParams params = tiny_app("flight");
+
+    // The runner sleeps past the thread-start window, so every thread is
+    // in get_or_run() before the first fill completes — the worst case
+    // for duplicate simulation.
+    std::atomic<int> simulations{0};
+    const auto simulate = [&] {
+        simulations.fetch_add(1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        return run_setup(setup, params);
+    };
+
+    constexpr int kThreads = 8;
+    std::vector<RunResult> results(kThreads);
+    std::vector<bool> hits(kThreads);
+    {
+        std::vector<std::thread> threads;
+        for (int t = 0; t < kThreads; ++t) {
+            threads.emplace_back([&, t] {
+                bool hit = false;
+                results[t] = cache.get_or_run(setup, params, simulate, &hit);
+                hits[t] = hit;
+            });
+        }
+        for (auto &th : threads)
+            th.join();
+    }
+
+    EXPECT_EQ(simulations.load(), 1);
+    EXPECT_EQ(cache.stats().misses.load(), 1u);
+    EXPECT_EQ(cache.stats().hits.load(), static_cast<std::uint64_t>(kThreads - 1));
+    int hit_count = 0;
+    for (int t = 0; t < kThreads; ++t) {
+        EXPECT_TRUE(run_results_identical(results[t], results[0])) << "thread " << t;
+        hit_count += hits[t] ? 1 : 0;
+    }
+    EXPECT_EQ(hit_count, kThreads - 1);
+}
+
+TEST(ServeConcurrency, DistinctKeysRunConcurrentlyWithoutCrossTalk)
+{
+    TempCacheDir dir("distinct");
+    ResultCache cache(dir.path());
+    ASSERT_TRUE(cache.ok()) << cache.error();
+
+    constexpr int kConfigs = 4;
+    std::atomic<int> simulations{0};
+    std::vector<std::thread> threads;
+    std::vector<RunResult> results(kConfigs);
+    for (int c = 0; c < kConfigs; ++c) {
+        threads.emplace_back([&, c] {
+            SystemSetup setup;
+            setup.compute_sms = 4 + 2 * static_cast<std::uint32_t>(c);
+            const WorkloadParams p = tiny_app(("d" + std::to_string(c)).c_str());
+            results[c] = cache.get_or_run(setup, p, [&] {
+                simulations.fetch_add(1);
+                return run_setup(setup, p);
+            });
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+
+    EXPECT_EQ(simulations.load(), kConfigs); // no false sharing of slots
+    for (int c = 0; c < kConfigs; ++c) {
+        SystemSetup setup;
+        setup.compute_sms = 4 + 2 * static_cast<std::uint32_t>(c);
+        const WorkloadParams p = tiny_app(("d" + std::to_string(c)).c_str());
+        RunResult out;
+        ASSERT_TRUE(cache.lookup(result_cache_key(setup, p), out));
+        EXPECT_TRUE(run_results_identical(out, results[c]));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ServeHandler protocol
+
+TEST(ServeHandler_, ConcurrentIdenticalRequestsYieldOneByteIdenticalResponse)
+{
+    TempCacheDir dir("handler");
+    ServeHandler handler(dir.path());
+    ASSERT_TRUE(handler.cache_ok()) << handler.cache_error();
+
+    const std::string request =
+        R"({"op": "run", "app": "kmeans", "system": "Morpheus-ALL"})";
+
+    constexpr int kThreads = 6;
+    std::vector<std::string> responses(kThreads);
+    {
+        std::vector<std::thread> threads;
+        for (int t = 0; t < kThreads; ++t) {
+            threads.emplace_back([&, t] {
+                bool shutdown = false;
+                responses[t] = handler.handle_line(request, shutdown);
+                EXPECT_FALSE(shutdown);
+            });
+        }
+        for (auto &th : threads)
+            th.join();
+    }
+
+    // Exactly one simulation across all threads...
+    EXPECT_EQ(handler.cache().stats().misses.load(), 1u);
+    EXPECT_EQ(handler.cache().stats().hits.load(),
+              static_cast<std::uint64_t>(kThreads - 1));
+    // ...and the embedded reports are byte-identical (the hit/miss
+    // counters differ per response, so compare the report field).
+    auto report_of = [](const std::string &response) {
+        JsonValue v;
+        std::string error;
+        EXPECT_TRUE(parse_json_value(response, v, error)) << error;
+        EXPECT_EQ(v.string_or("status", ""), "ok") << response;
+        const JsonValue *r = v.get("report");
+        EXPECT_NE(r, nullptr);
+        return r ? r->string : std::string();
+    };
+    const std::string first = report_of(responses[0]);
+    EXPECT_FALSE(first.empty());
+    for (int t = 1; t < kThreads; ++t)
+        EXPECT_EQ(report_of(responses[t]), first) << "thread " << t;
+
+    // A later cold handler on the same directory serves the same bytes
+    // from disk (hit path ≡ fresh path).
+    ServeHandler reheated(dir.path());
+    bool shutdown = false;
+    EXPECT_EQ(report_of(reheated.handle_line(request, shutdown)), first);
+    EXPECT_EQ(reheated.cache().stats().hits.load(), 1u);
+    EXPECT_EQ(reheated.cache().stats().misses.load(), 0u);
+}
+
+TEST(ServeHandler_, ScenarioIdenticalAcrossJobsAndHitPatterns)
+{
+    TempCacheDir dir("scenario");
+
+    // Serial, uncached reference response (fresh handler, fresh dir per
+    // run so only the jobs count varies).
+    auto scenario_report = [](const std::string &cache_dir, unsigned jobs) {
+        ServeHandler handler(cache_dir, jobs);
+        EXPECT_TRUE(handler.cache_ok());
+        bool shutdown = false;
+        const std::string response = handler.handle_line(
+            R"({"op": "scenario", "name": "kmeans_capacity_sweep"})", shutdown);
+        JsonValue v;
+        std::string error;
+        EXPECT_TRUE(parse_json_value(response, v, error)) << error;
+        EXPECT_EQ(v.string_or("status", ""), "ok") << response;
+        const JsonValue *r = v.get("report");
+        return r ? r->string : std::string();
+    };
+
+    TempCacheDir serial_dir("scenario_serial");
+    const std::string reference = scenario_report(serial_dir.path(), 1);
+    ASSERT_FALSE(reference.empty());
+
+    // Parallel uncached, then twice against a shared warm dir: all four
+    // responses (serial/parallel × cold/mixed/warm) carry one report.
+    EXPECT_EQ(scenario_report(dir.path(), 4), reference); // cold, parallel
+    EXPECT_EQ(scenario_report(dir.path(), 2), reference); // warm, parallel
+    EXPECT_EQ(scenario_report(dir.path(), 1), reference); // warm, serial
+
+    // And the warm passes really were served from cache.
+    ServeHandler handler(dir.path());
+    bool shutdown = false;
+    JsonValue v;
+    std::string error;
+    ASSERT_TRUE(parse_json_value(handler.handle_line(R"({"op": "stats"})", shutdown), v,
+                                 error));
+    EXPECT_EQ(v.number_or("evictions", -1), 0);
+}
+
+TEST(ServeHandler_, ProtocolEdgesAreCleanErrors)
+{
+    TempCacheDir dir("protocol");
+    ServeHandler handler(dir.path());
+    bool shutdown = false;
+
+    auto status_of = [&](const std::string &line) {
+        JsonValue v;
+        std::string error;
+        EXPECT_TRUE(parse_json_value(handler.handle_line(line, shutdown), v, error))
+            << error;
+        return v.string_or("status", "");
+    };
+
+    EXPECT_EQ(status_of(R"({"op": "ping"})"), "ok");
+    EXPECT_EQ(status_of(R"({"op": "stats"})"), "ok");
+    EXPECT_EQ(status_of("not json at all"), "error");
+    EXPECT_EQ(status_of("[1, 2, 3]"), "error");
+    EXPECT_EQ(status_of(R"({"no_op": true})"), "error");
+    EXPECT_EQ(status_of(R"({"op": "frobnicate"})"), "error");
+    EXPECT_EQ(status_of(R"({"op": "run"})"), "error");
+    EXPECT_EQ(status_of(R"({"op": "run", "app": "no-such-app"})"), "error");
+    EXPECT_EQ(status_of(R"({"op": "run", "app": "kmeans", "system": "Warp-Drive"})"),
+              "error");
+    EXPECT_EQ(status_of(R"({"op": "scenario"})"), "error");
+    EXPECT_EQ(status_of(R"({"op": "scenario", "name": "no_such_scenario"})"), "error");
+    EXPECT_FALSE(shutdown);
+
+    EXPECT_EQ(status_of(R"({"op": "shutdown"})"), "ok");
+    EXPECT_TRUE(shutdown);
+}

@@ -1,0 +1,307 @@
+/**
+ * morpheus_serve — simulation-as-a-service over a local socket
+ * (docs/ARCHITECTURE.md "Serving", docs/CACHE_FORMAT.md).
+ *
+ * Server:  morpheus_serve --socket PATH --cache-dir DIR [--jobs N]
+ *   Long-lived daemon on an AF_UNIX socket. Each connection sends
+ *   newline-delimited JSON requests (serve/serve.hpp lists the ops) and
+ *   gets one JSON response line per request. Every completed grid point
+ *   is memoized in the content-addressed result cache, so repeated
+ *   sweeps — across connections and daemon restarts — cost one
+ *   simulation each.
+ *
+ * Client:  morpheus_serve --client --socket PATH <request> [options]
+ *   request: --ping | --run APP [--system S] | --scenario NAME |
+ *            --stats | --shutdown-server
+ *   options: --jobs N         worker threads for --scenario
+ *            --output FILE    write the returned BENCH report (canonical
+ *                             multi-line JSON, byte-identical to a local
+ *                             --output run) to FILE
+ *            --expect-hits    exit 1 unless the request was served
+ *                             entirely from cache (CI freshness gate)
+ *   Prints "hits=H misses=M" for run/scenario responses.
+ */
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/json.hpp"
+#include "harness/report.hpp"
+#include "serve/serve.hpp"
+
+namespace {
+
+using morpheus::JsonValue;
+using morpheus::RunReport;
+using morpheus::ServeHandler;
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: morpheus_serve --socket PATH --cache-dir DIR [--jobs N]\n"
+                 "       morpheus_serve --client --socket PATH\n"
+                 "           (--ping | --run APP [--system S] | --scenario NAME |\n"
+                 "            --stats | --shutdown-server)\n"
+                 "           [--jobs N] [--output FILE] [--expect-hits]\n");
+    return 2;
+}
+
+/** Sends all of @p data (with trailing newline) on @p fd. */
+bool
+send_line(int fd, const std::string &data)
+{
+    std::string line = data;
+    line += '\n';
+    std::size_t off = 0;
+    while (off < line.size()) {
+        const ssize_t n = ::write(fd, line.data() + off, line.size() - off);
+        if (n <= 0)
+            return false;
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/** Reads one '\n'-terminated line from @p fd into @p out (newline
+ *  stripped); @p buf carries bytes between calls. @return false on EOF
+ *  with no pending line. */
+bool
+recv_line(int fd, std::string &buf, std::string &out)
+{
+    while (true) {
+        const std::size_t pos = buf.find('\n');
+        if (pos != std::string::npos) {
+            out = buf.substr(0, pos);
+            buf.erase(0, pos + 1);
+            return true;
+        }
+        char chunk[4096];
+        const ssize_t n = ::read(fd, chunk, sizeof chunk);
+        if (n <= 0)
+            return false;
+        buf.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Server
+
+int
+serve_main(const std::string &socket_path, const std::string &cache_dir, unsigned jobs)
+{
+    ServeHandler handler(cache_dir, jobs);
+    if (!handler.cache_ok()) {
+        std::fprintf(stderr, "morpheus_serve: %s\n", handler.cache_error().c_str());
+        return 1;
+    }
+
+    const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd < 0) {
+        std::perror("morpheus_serve: socket");
+        return 1;
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socket_path.size() >= sizeof(addr.sun_path)) {
+        std::fprintf(stderr, "morpheus_serve: socket path too long\n");
+        return 1;
+    }
+    std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+    ::unlink(socket_path.c_str()); // stale socket from a dead daemon
+    if (::bind(listen_fd, reinterpret_cast<sockaddr *>(&addr), sizeof addr) != 0 ||
+        ::listen(listen_fd, 16) != 0) {
+        std::perror("morpheus_serve: bind/listen");
+        ::close(listen_fd);
+        return 1;
+    }
+    std::fprintf(stderr, "morpheus_serve: listening on %s (cache %s)\n",
+                 socket_path.c_str(), cache_dir.c_str());
+
+    std::atomic<bool> stopping{false};
+    std::vector<std::thread> connections;
+    while (!stopping.load()) {
+        const int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd < 0) {
+            if (stopping.load())
+                break;
+            continue;
+        }
+        connections.emplace_back([fd, listen_fd, &handler, &stopping] {
+            std::string buf, line;
+            while (recv_line(fd, buf, line)) {
+                bool shutdown = false;
+                const std::string response = handler.handle_line(line, shutdown);
+                send_line(fd, response);
+                if (shutdown) {
+                    stopping.store(true);
+                    // Wake the accept loop so the daemon exits promptly.
+                    ::shutdown(listen_fd, SHUT_RDWR);
+                    break;
+                }
+            }
+            ::close(fd);
+        });
+    }
+    for (auto &t : connections)
+        t.join();
+    ::close(listen_fd);
+    ::unlink(socket_path.c_str());
+    std::fprintf(stderr, "morpheus_serve: shut down\n");
+    return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Client
+
+std::string
+json_quote(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+int
+client_main(const std::string &socket_path, const std::string &request,
+            const std::string &output_path, bool expect_hits)
+{
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        std::perror("morpheus_serve: socket");
+        return 1;
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr), sizeof addr) != 0) {
+        std::perror("morpheus_serve: connect");
+        ::close(fd);
+        return 1;
+    }
+
+    std::string buf, line;
+    const bool ok = send_line(fd, request) && recv_line(fd, buf, line);
+    ::close(fd);
+    if (!ok) {
+        std::fprintf(stderr, "morpheus_serve: connection closed mid-request\n");
+        return 1;
+    }
+
+    JsonValue response;
+    std::string error;
+    if (!morpheus::parse_json_value(line, response, error)) {
+        std::fprintf(stderr, "morpheus_serve: bad response: %s\n", error.c_str());
+        return 1;
+    }
+    if (response.string_or("status", "") != "ok") {
+        std::fprintf(stderr, "morpheus_serve: server error: %s\n",
+                     response.string_or("error", "(no message)").c_str());
+        return 1;
+    }
+
+    const JsonValue *report_field = response.get("report");
+    if (report_field) {
+        const auto hits = static_cast<std::uint64_t>(response.number_or("hits", 0));
+        const auto misses = static_cast<std::uint64_t>(response.number_or("misses", 0));
+        std::printf("hits=%llu misses=%llu\n", static_cast<unsigned long long>(hits),
+                    static_cast<unsigned long long>(misses));
+        if (!output_path.empty()) {
+            RunReport report;
+            if (!RunReport::parse_json(report_field->string, report, error)) {
+                std::fprintf(stderr, "morpheus_serve: bad embedded report: %s\n",
+                             error.c_str());
+                return 1;
+            }
+            if (!report.save_file(output_path, error)) {
+                std::fprintf(stderr, "morpheus_serve: %s\n", error.c_str());
+                return 1;
+            }
+            std::fprintf(stderr, "wrote %s (%zu entries)\n", output_path.c_str(),
+                         report.entries().size());
+        }
+        if (expect_hits && misses > 0) {
+            std::fprintf(stderr, "morpheus_serve: expected all hits, got %llu misses\n",
+                         static_cast<unsigned long long>(misses));
+            return 1;
+        }
+    } else {
+        std::printf("%s\n", line.c_str());
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool client = false, expect_hits = false;
+    std::string socket_path, cache_dir, output_path, request;
+    std::string run_app, run_system, scenario_name;
+    unsigned jobs = 0;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        if (std::strcmp(a, "--client") == 0) {
+            client = true;
+        } else if (std::strcmp(a, "--socket") == 0 && i + 1 < argc) {
+            socket_path = argv[++i];
+        } else if (std::strcmp(a, "--cache-dir") == 0 && i + 1 < argc) {
+            cache_dir = argv[++i];
+        } else if (std::strcmp(a, "--jobs") == 0 && i + 1 < argc) {
+            jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+        } else if (std::strcmp(a, "--output") == 0 && i + 1 < argc) {
+            output_path = argv[++i];
+        } else if (std::strcmp(a, "--expect-hits") == 0) {
+            expect_hits = true;
+        } else if (std::strcmp(a, "--ping") == 0) {
+            request = "{\"op\": \"ping\"}";
+        } else if (std::strcmp(a, "--stats") == 0) {
+            request = "{\"op\": \"stats\"}";
+        } else if (std::strcmp(a, "--shutdown-server") == 0) {
+            request = "{\"op\": \"shutdown\"}";
+        } else if (std::strcmp(a, "--run") == 0 && i + 1 < argc) {
+            run_app = argv[++i];
+        } else if (std::strcmp(a, "--system") == 0 && i + 1 < argc) {
+            run_system = argv[++i];
+        } else if (std::strcmp(a, "--scenario") == 0 && i + 1 < argc) {
+            scenario_name = argv[++i];
+        } else {
+            return usage();
+        }
+    }
+    if (socket_path.empty())
+        return usage();
+
+    if (!client)
+        return cache_dir.empty() ? usage() : serve_main(socket_path, cache_dir, jobs);
+
+    if (!run_app.empty()) {
+        request = "{\"op\": \"run\", \"app\": " + json_quote(run_app);
+        if (!run_system.empty())
+            request += ", \"system\": " + json_quote(run_system);
+        request += "}";
+    } else if (!scenario_name.empty()) {
+        request = "{\"op\": \"scenario\", \"name\": " + json_quote(scenario_name);
+        if (jobs)
+            request += ", \"jobs\": " + std::to_string(jobs);
+        request += "}";
+    }
+    if (request.empty())
+        return usage();
+    return client_main(socket_path, request, output_path, expect_hits);
+}
