@@ -1,0 +1,14 @@
+/**
+ * @file
+ * Driver stub for the "trace_corpus" scenario (see src/scenarios/). Runs the
+ * same sweep as `morpheus_cli --scenario trace_corpus`; accepts --jobs N,
+ * --format text|csv|json, --trace FILE (a specific converted .mtrc; default
+ * is every trace in bench/traces/corpus/), and --output FILE.
+ */
+#include "harness/scenario.hpp"
+
+int
+main(int argc, char **argv)
+{
+    return morpheus::scenario_main("trace_corpus", argc, argv);
+}

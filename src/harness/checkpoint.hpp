@@ -42,8 +42,11 @@ struct Checkpoint
     /** Bump on ANY layout change — header, meta, or state encoding. Old
      *  files then fail load instead of silently misreading.
      *  v2: packed-rank LRU sets serialize one rank word in place of the
-     *  clock + stamp vector (cache/replacement.hpp). */
-    static constexpr std::uint32_t kFormatVersion = 2;
+     *  clock + stamp vector (cache/replacement.hpp).
+     *  v3: ExtLlcParams.service_overhead default recalibrated 24 -> 167
+     *  (Figure 5 extended-hit anchor); a restored run's remaining cycles
+     *  would replay under different timing than the capture. */
+    static constexpr std::uint32_t kFormatVersion = 3;
 
     /** Header flag bits. */
     static constexpr std::uint64_t kFlagFinal = 1;  ///< queue drained at capture

@@ -455,10 +455,15 @@ CacheModeSm::service(Cycle when, std::uint32_t s)
     // Request path (predicted hit): software tag lookup, then serve.
     ++served_;
     const MemRequest &req = task.req;
-    // Port reservations happen at event time; the fixed software overhead
-    // (status-table polling, data-buffer accesses) overlaps other warps'
-    // issue slots but keeps this warp busy.
-    Cycle t = std::max(issue(when, params_.tag_lookup_instrs), start + params_.service_overhead);
+    // Port reservations happen at event time. The tag lookup needs only
+    // the request header, so it resolves as soon as the instructions
+    // issue; the fixed software overhead (status-table polling,
+    // data-buffer accesses) keeps this warp busy through `t` but does
+    // NOT gate a miss's DRAM fetch — the polling overlaps the round
+    // trip, which is what keeps false-positive misses near the
+    // conventional miss latency while hits carry the full handshake.
+    const Cycle lookup = std::max(issue(when, params_.tag_lookup_instrs), start);
+    Cycle t = std::max(lookup, start + params_.service_overhead);
 
     std::uint64_t version = 0;
     CompLevel level = CompLevel::kUncompressed;
@@ -499,8 +504,10 @@ CacheModeSm::service(Cycle when, std::uint32_t s)
     // Actual miss (predictor false positive, or No-Prediction mode):
     // fetch from DRAM, install, respond (§4.2.1 "Handling Extended LLC
     // Misses"). The fetch is initiated by a scheduled event so that all
-    // NoC/DRAM reservations happen at monotonic event times.
-    ctx_.eq->schedule(t, [this, s, start] {
+    // NoC/DRAM reservations happen at monotonic event times; it launches
+    // at lookup time, not `t` — the service handshake overlaps the round
+    // trip rather than preceding it.
+    ctx_.eq->schedule(lookup, [this, s, start] {
         WarpSet &wsx = sets_[s];
         dram_round_trip(ctx_.eq->now(), wsx.queue.front().req.line,
                         [this, s, start](Cycle data_at_sm) {

@@ -79,11 +79,15 @@ struct ExtLlcParams
     /**
      * Fixed software overhead per serviced request (polling the
      * memory-mapped warp status table, reading/writing the data buffers).
-     * Calibrated so the extended-vs-conventional gap matches Figure 5
-     * (773 - 608 = 165 ns) and the per-SM extended-LLC bandwidth matches
-     * Figure 11c (~34 GB/s at 48 warps: 48 warps / ~200-cycle occupancy).
+     * Calibrated against Figure 5's unloaded extended-LLC *hit* latency
+     * (~325 ns, roughly 2x a conventional hit's 160 ns): handshake +
+     * buffer traffic dominates a software hit, so the overhead carries
+     * most of that latency. On a false-positive miss it overlaps the
+     * DRAM round trip (the warp polls while the fetch is in flight), so
+     * misses stay near the conventional-miss + fill cost (Figure 5's
+     * 773 ns vs 608 ns).
      */
-    Cycle service_overhead = 24;
+    Cycle service_overhead = 167;
 
     /** @name Storage access latencies, cycles (paper footnote 7) */
     ///@{

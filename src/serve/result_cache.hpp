@@ -40,8 +40,11 @@ namespace morpheus {
 /** On-disk format version; bump on ANY change to the entry layout or to
  *  the key derivation (config_codec templates, key salt, header shape).
  *  Old entries then fail validation wholesale and refill — stale bytes
- *  are never reinterpreted. History in docs/CACHE_FORMAT.md. */
-inline constexpr std::uint32_t kResultCacheVersion = 1;
+ *  are never reinterpreted. History in docs/CACHE_FORMAT.md.
+ *  v2: ExtLlcParams.service_overhead default recalibrated 24 -> 167
+ *  (Figure 5 extended-hit anchor) — a default-value change alters what
+ *  a cached configuration computes. */
+inline constexpr std::uint32_t kResultCacheVersion = 2;
 
 /** Entry file magic: "MRCE" little-endian (Morpheus Result Cache Entry). */
 inline constexpr std::uint32_t kResultCacheMagic = 0x4543524DU;

@@ -1,0 +1,77 @@
+#ifndef MORPHEUS_WORKLOADS_TRACE_TRACE_CONVERT_HPP_
+#define MORPHEUS_WORKLOADS_TRACE_TRACE_CONVERT_HPP_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace morpheus::trace {
+
+/**
+ * Converter from Accel-Sim/NVBit-style memory-trace *text* into `.mtrc`
+ * v2 (`morpheus_trace convert`). The accepted grammar is line-oriented
+ * and strict — anything unrecognized is a hard error with a line number,
+ * never a guess (docs/TRACE_FORMAT.md "Converting real GPU traces"):
+ *
+ *   # comment                      (ignored, as are blank lines)
+ *   kernel <name>                  (optional; names the trace)
+ *   [cta X,Y,Z] warp W [PC 0xHEX] <OPCODE> addrs 0xA 0xB ...
+ *
+ * Instruction-line tokens may appear in any order before the address
+ * list. `cta` (alias `block`) defaults to 0,0,0 for single-CTA dumps.
+ * The opcode is classified by prefix: LD... -> read, ST... -> write,
+ * ATOM.../RED... -> atomic; shared/local-space ops (LDS/STS/LDL/STL
+ * and friends) carry no global-memory traffic and count as one ALU
+ * warp-instruction on their stream instead. `addrs`/`addresses:` lists
+ * per-lane byte addresses; 0x0 marks an inactive lane and is skipped
+ * (NVBit prints unpredicated lanes that way). Addresses collapse to
+ * 128-byte lines, deduplicate (coalescing), and chunk into records of
+ * at most 8 lines.
+ *
+ * Streams are keyed by (cta, warp) and dealt round-robin over
+ * `num_sms` SMs in sorted order, so conversion is deterministic
+ * regardless of input interleaving. Footprint classes are all
+ * kClassUnknown — real traces carry addresses, not data — so replay
+ * synthesizes uncompressed blocks unless a profile is attached later.
+ *
+ * Memory: one encoded payload buffer per stream (a few bytes per
+ * record), never materialized TraceSteps; the output is written through
+ * TraceFileWriter and is canonical (convert -> verify round-trips).
+ */
+
+struct ConvertOptions
+{
+    std::uint32_t num_sms = 4;  ///< SMs to deal converted streams over
+    bool rle = true;
+    std::string name;           ///< overrides any `kernel` line when set
+};
+
+struct ConvertStats
+{
+    std::uint64_t text_lines = 0;       ///< total input lines
+    std::uint64_t instr_lines = 0;      ///< parsed instruction lines
+    std::uint64_t local_ops = 0;        ///< shared/local ops folded into ALU
+    std::uint64_t records = 0;          ///< emitted .mtrc records
+    std::uint64_t line_accesses = 0;    ///< post-coalescing line accesses
+    std::uint64_t inactive_lanes = 0;   ///< 0x0 addresses skipped
+    std::uint64_t streams = 0;          ///< distinct (cta, warp) streams
+};
+
+/**
+ * Converts @p size bytes of trace text into a `.mtrc` v2 file at
+ * @p out_path. @return false with a "line N: ..." @p error on malformed
+ * input (no partial output file is left valid in that case; callers
+ * should treat a false return as fatal).
+ */
+bool convert_text_trace(const char *data, std::size_t size, const std::string &out_path,
+                        const ConvertOptions &options, ConvertStats &stats,
+                        std::string &error);
+
+/** File wrapper around convert_text_trace(). */
+bool convert_text_file(const std::string &in_path, const std::string &out_path,
+                       const ConvertOptions &options, ConvertStats &stats,
+                       std::string &error);
+
+} // namespace morpheus::trace
+
+#endif // MORPHEUS_WORKLOADS_TRACE_TRACE_CONVERT_HPP_

@@ -4,19 +4,11 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <unordered_map>
 #include <unordered_set>
 
 namespace morpheus::trace {
 namespace {
-
-/** Hard ceilings rejected as "impossible" before any allocation
- *  (kMaxTraceSms/kMaxTraceWarpsPerSm/kMaxTraceRecords live in the
- *  header, shared with the encoder and tools). */
-constexpr std::uint64_t kMaxNameBytes = 4096;
-/** RLE expands at most 65x (a 2-byte run packet yields up to 130 bytes). */
-constexpr std::uint64_t kMaxRleExpansion = 65;
-/** Minimum encoded record: packed byte + alu varint + pc varint. */
-constexpr std::uint64_t kMinRecordBytes = 3;
 
 void
 put_u64_le(std::vector<std::uint8_t> &out, std::uint64_t v)
@@ -66,12 +58,15 @@ bool
 operator==(const TraceStep &a, const TraceStep &b)
 {
     if (a.pc != b.pc || a.alu_instrs != b.alu_instrs || a.num_lines != b.num_lines ||
-        a.type != b.type || a.footprint != b.footprint)
+        a.type != b.type)
         return false;
     for (std::uint32_t i = 0; i < a.num_lines; ++i) {
-        if (a.lines[i] != b.lines[i])
+        if (a.lines[i] != b.lines[i] || a.cls[i] != b.cls[i])
             return false;
     }
+    // A pure-ALU record still carries cls[0] on the wire.
+    if (a.num_lines == 0 && a.cls[0] != b.cls[0])
+        return false;
     return true;
 }
 
@@ -88,19 +83,10 @@ put_varint(std::vector<std::uint8_t> &out, std::uint64_t v)
 bool
 get_varint(const std::uint8_t *&p, const std::uint8_t *end, std::uint64_t &out)
 {
-    out = 0;
-    for (unsigned shift = 0; shift < 64; shift += 7) {
-        if (p == end)
-            return false;
-        const std::uint8_t byte = *p++;
-        // The 10th byte may only carry the top bit of a 64-bit value.
-        if (shift == 63 && (byte & ~1u))
-            return false;
-        out |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
-        if (!(byte & 0x80))
-            return true;
-    }
-    return false;
+    ByteRange src{p, end};
+    const bool ok = pull_varint(src, out);
+    p = src.p;
+    return ok;
 }
 
 std::uint64_t
@@ -185,6 +171,36 @@ rle_decompress(const std::uint8_t *in, std::size_t in_size, std::size_t decoded_
     return true;
 }
 
+void
+StreamEncoder::add(const TraceStep &step, std::vector<std::uint8_t> &payload)
+{
+    const std::uint8_t packed =
+        static_cast<std::uint8_t>(static_cast<std::uint8_t>(step.type) |
+                                  ((step.num_lines & 0xF) << 2) | ((step.cls[0] & 3) << 6));
+    payload.push_back(packed);
+    put_varint(payload, step.alu_instrs);
+    put_varint(payload, zigzag_encode(static_cast<std::int64_t>(step.pc - prev_pc_)));
+    prev_pc_ = step.pc;
+    for (std::uint32_t i = 0; i < step.num_lines; ++i) {
+        const LineAddr base = i == 0 ? prev_line_ : step.lines[i - 1];
+        put_varint(payload, zigzag_encode(static_cast<std::int64_t>(step.lines[i] - base)));
+    }
+    if (step.num_lines > 0)
+        prev_line_ = step.lines[step.num_lines - 1];
+
+    // v2 trailer: 2-bit classes of lines[1..], four per byte, zero padding.
+    if (version_ >= 2 && step.num_lines > 1) {
+        const std::uint32_t extra = step.num_lines - 1;
+        for (std::uint32_t b = 0; b * 4 < extra; ++b) {
+            std::uint8_t byte = 0;
+            const std::uint32_t in_byte = std::min<std::uint32_t>(extra - b * 4, 4);
+            for (std::uint32_t k = 0; k < in_byte; ++k)
+                byte |= static_cast<std::uint8_t>((step.cls[1 + b * 4 + k] & 3) << (2 * k));
+            payload.push_back(byte);
+        }
+    }
+}
+
 std::uint64_t
 Trace::total_records() const
 {
@@ -198,8 +214,13 @@ TraceStats
 Trace::stats() const
 {
     TraceStats st;
-    std::unordered_set<LineAddr> unique;
+    // Per unique line: a bitmask of the *known* classes it was recorded
+    // with. More than one bit set => a class collision the replay has to
+    // resolve (highest compression wins; see TraceWorkload).
+    std::unordered_map<LineAddr, std::uint8_t> line_classes;
     for (const auto &stream : streams) {
+        if (stream.steps.empty())
+            ++st.empty_streams;
         for (const auto &step : stream.steps) {
             ++st.records;
             st.alu_instrs += step.alu_instrs;
@@ -218,13 +239,22 @@ Trace::stats() const
                 ++st.atomics;
                 break;
             }
-            st.class_counts[step.footprint & 3]++;
-            for (std::uint32_t i = 0; i < step.num_lines; ++i)
-                unique.insert(step.lines[i]);
+            for (std::uint32_t i = 0; i < step.num_lines; ++i) {
+                const std::uint8_t c = step.cls[i] & 3;
+                st.class_counts[c]++;
+                std::uint8_t &mask = line_classes[step.lines[i]];
+                if (c != kClassUnknown)
+                    mask |= static_cast<std::uint8_t>(1u << c);
+            }
         }
     }
-    st.unique_lines = unique.size();
+    st.unique_lines = line_classes.size();
     st.footprint_bytes = st.unique_lines * kLineBytes;
+    for (const auto &[line, mask] : line_classes) {
+        (void)line;
+        if (mask & (mask - 1))  // two or more known classes disagree
+            ++st.class_collisions;
+    }
     return st;
 }
 
@@ -235,7 +265,7 @@ Trace::encode() const
     out.reserve(64 + 4 * total_records());
     for (std::uint8_t b : kMagic)
         out.push_back(b);
-    out.push_back(kFormatVersion);
+    out.push_back(version);
     std::uint8_t flags = 0;
     if (has_profile)
         flags |= kFlagHasProfile;
@@ -257,25 +287,9 @@ Trace::encode() const
     std::vector<std::uint8_t> payload;
     for (const auto &stream : streams) {
         payload.clear();
-        std::uint64_t prev_pc = 0;
-        LineAddr prev_line = 0;
-        for (const auto &step : stream.steps) {
-            const std::uint8_t packed =
-                static_cast<std::uint8_t>(static_cast<std::uint8_t>(step.type) |
-                                          ((step.num_lines & 0xF) << 2) |
-                                          ((step.footprint & 3) << 6));
-            payload.push_back(packed);
-            put_varint(payload, step.alu_instrs);
-            put_varint(payload, zigzag_encode(static_cast<std::int64_t>(step.pc - prev_pc)));
-            prev_pc = step.pc;
-            for (std::uint32_t i = 0; i < step.num_lines; ++i) {
-                const LineAddr base = i == 0 ? prev_line : step.lines[i - 1];
-                put_varint(payload,
-                           zigzag_encode(static_cast<std::int64_t>(step.lines[i] - base)));
-            }
-            if (step.num_lines > 0)
-                prev_line = step.lines[step.num_lines - 1];
-        }
+        StreamEncoder enc(version);
+        for (const auto &step : stream.steps)
+            enc.add(step, payload);
 
         put_varint(out, stream.sm);
         put_varint(out, stream.warp);
@@ -304,8 +318,10 @@ Trace::decode(const std::uint8_t *data, std::size_t size, Trace &out, std::strin
     if (size < 6 || std::memcmp(p, kMagic, 4) != 0)
         return fail(error, "not an .mtrc file (bad magic)");
     p += 4;
-    if (*p++ != kFormatVersion)
+    const std::uint8_t version = *p++;
+    if (version < kFormatVersionV1 || version > kFormatVersion)
         return fail(error, "unsupported .mtrc version");
+    out.version = version;
     const std::uint8_t flags = *p++;
     if (flags & ~(kFlagHasProfile | kFlagRle))
         return fail(error, "unknown header flags");
@@ -324,7 +340,7 @@ Trace::decode(const std::uint8_t *data, std::size_t size, Trace &out, std::strin
     if (warps_per_sm == 0 || warps_per_sm > kMaxTraceWarpsPerSm)
         return fail(error, "impossible warps-per-SM count");
     if (line_bytes != kLineBytes)
-        return fail(error, "line size mismatch (v1 requires 128-byte lines)");
+        return fail(error, "line size mismatch (the format requires 128-byte lines)");
     if (name_len > kMaxNameBytes || name_len > static_cast<std::uint64_t>(end - p))
         return fail(error, "impossible name length");
     out.num_sms = static_cast<std::uint32_t>(num_sms);
@@ -390,59 +406,28 @@ Trace::decode(const std::uint8_t *data, std::size_t size, Trace &out, std::strin
 
         const std::uint8_t *stored = p;
         p += stored_bytes;
-        const std::uint8_t *rp;
-        const std::uint8_t *rend;
+        ByteRange src;
         if (out.rle) {
             if (!rle_decompress(stored, stored_bytes, decoded_bytes, payload, error))
                 return false;
-            rp = payload.data();
-            rend = payload.data() + payload.size();
+            src = ByteRange{payload.data(), payload.data() + payload.size()};
         } else {
-            rp = stored;
-            rend = stored + stored_bytes;
+            src = ByteRange{stored, stored + stored_bytes};
         }
 
         TraceStream stream;
         stream.sm = static_cast<std::uint32_t>(sm);
         stream.warp = static_cast<std::uint32_t>(warp);
+        stream.steps.reserve(record_count);
         std::uint64_t prev_pc = 0;
         LineAddr prev_line = 0;
         for (std::uint64_t r = 0; r < record_count; ++r) {
-            if (rp == rend)
-                return fail(error, "record stream shorter than record count");
-            const std::uint8_t packed = *rp++;
             TraceStep step;
-            const std::uint8_t type = packed & 3;
-            step.num_lines = (packed >> 2) & 0xF;
-            step.footprint = packed >> 6;
-            if (type > static_cast<std::uint8_t>(AccessType::kAtomic))
-                return fail(error, "invalid access type");
-            step.type = static_cast<AccessType>(type);
-            if (step.num_lines > WarpStep::kMaxLinesPerInst)
-                return fail(error, "record exceeds max lines per instruction");
-
-            std::uint64_t alu = 0;
-            std::uint64_t pc_delta = 0;
-            if (!get_varint(rp, rend, alu) || !get_varint(rp, rend, pc_delta))
-                return fail(error, "corrupt record varint");
-            if (alu > UINT32_MAX)
-                return fail(error, "impossible ALU batch size");
-            step.alu_instrs = static_cast<std::uint32_t>(alu);
-            step.pc = prev_pc + static_cast<std::uint64_t>(zigzag_decode(pc_delta));
-            prev_pc = step.pc;
-
-            for (std::uint32_t i = 0; i < step.num_lines; ++i) {
-                std::uint64_t delta = 0;
-                if (!get_varint(rp, rend, delta))
-                    return fail(error, "corrupt line-delta varint");
-                const LineAddr base = i == 0 ? prev_line : step.lines[i - 1];
-                step.lines[i] = base + static_cast<std::uint64_t>(zigzag_decode(delta));
-            }
-            if (step.num_lines > 0)
-                prev_line = step.lines[step.num_lines - 1];
+            if (!decode_record(src, version, prev_pc, prev_line, step, error))
+                return false;
             stream.steps.push_back(step);
         }
-        if (rp != rend)
+        if (src.p != src.end)
             return fail(error, "trailing bytes after last record");
         out.streams.push_back(std::move(stream));
     }
@@ -460,6 +445,10 @@ Trace::save_file(const std::string &path, std::string &error) const
         warps_per_sm > kMaxTraceWarpsPerSm || total_records() > kMaxTraceRecords) {
         error = "trace exceeds .mtrc format ceilings (SMs/warps/records); "
                 "downsample before saving";
+        return false;
+    }
+    if (version < kFormatVersionV1 || version > kFormatVersion) {
+        error = "unknown .mtrc version to encode";
         return false;
     }
     const std::vector<std::uint8_t> bytes = encode();

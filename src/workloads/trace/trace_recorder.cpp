@@ -38,10 +38,14 @@ record_trace(Workload &workload, std::uint32_t num_sms, const BlockDataProfile *
                 for (std::uint32_t i = 0; i < rec.num_lines; ++i)
                     rec.lines[i] = step.lines[i];
                 rec.type = step.type;
-                if (rec.num_lines > 0) {
+                // Record what each line's contents BDI-compress to, so a
+                // replay without the generating workload can synthesize
+                // class-faithful data for every accessed line (v2 format;
+                // a v1 encode keeps only the first line's class).
+                for (std::uint32_t i = 0; i < rec.num_lines; ++i) {
                     const BdiResult bdi =
-                        bdi_compress(workload.synthesize_block(rec.lines[0]));
-                    rec.footprint = static_cast<std::uint8_t>(bdi.level);
+                        bdi_compress(workload.synthesize_block(rec.lines[i]));
+                    rec.cls[i] = static_cast<std::uint8_t>(bdi.level);
                 }
                 stream.steps.push_back(rec);
             }

@@ -1,0 +1,212 @@
+#include "workloads/trace/trace_writer.hpp"
+
+#include <cstring>
+
+namespace morpheus::trace {
+namespace {
+
+void
+put_u64_le(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint64_t
+double_bits(double d)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    return bits;
+}
+
+} // namespace
+
+TraceFileWriter::~TraceFileWriter()
+{
+    if (file_) {
+        std::fclose(file_);
+        file_ = nullptr;
+    }
+}
+
+bool
+TraceFileWriter::write_bytes(const std::uint8_t *data, std::size_t size, std::string &error)
+{
+    if (size > 0 && std::fwrite(data, 1, size, file_) != size) {
+        error = "short write to '" + path_ + "'";
+        return false;
+    }
+    return true;
+}
+
+bool
+TraceFileWriter::open(const std::string &path, const Header &header,
+                      std::uint64_t stream_count, std::string &error)
+{
+    if (file_) {
+        error = "writer already open";
+        return false;
+    }
+    if (header.num_sms == 0 || header.num_sms > kMaxTraceSms || header.warps_per_sm == 0 ||
+        header.warps_per_sm > kMaxTraceWarpsPerSm ||
+        header.name.size() > kMaxNameBytes ||
+        stream_count > static_cast<std::uint64_t>(header.num_sms) * header.warps_per_sm) {
+        error = "trace header exceeds .mtrc format ceilings";
+        return false;
+    }
+    file_ = std::fopen(path.c_str(), "wb");
+    if (!file_) {
+        error = "cannot open '" + path + "' for writing";
+        return false;
+    }
+    path_ = path;
+    rle_ = header.rle;
+    num_sms_ = header.num_sms;
+    warps_per_sm_ = header.warps_per_sm;
+    declared_streams_ = stream_count;
+    streams_written_ = 0;
+    records_written_ = 0;
+    seen_slots_.clear();
+
+    scratch_.clear();
+    for (std::uint8_t b : kMagic)
+        scratch_.push_back(b);
+    scratch_.push_back(kFormatVersion);
+    std::uint8_t flags = 0;
+    if (header.has_profile)
+        flags |= kFlagHasProfile;
+    if (header.rle)
+        flags |= kFlagRle;
+    scratch_.push_back(flags);
+    put_varint(scratch_, header.num_sms);
+    put_varint(scratch_, header.warps_per_sm);
+    put_varint(scratch_, kLineBytes);
+    put_varint(scratch_, header.name.size());
+    scratch_.insert(scratch_.end(), header.name.begin(), header.name.end());
+    if (header.has_profile) {
+        put_u64_le(scratch_, double_bits(header.profile.high_frac));
+        put_u64_le(scratch_, double_bits(header.profile.low_frac));
+        put_u64_le(scratch_, header.profile.seed);
+    }
+    put_varint(scratch_, stream_count);
+    return write_bytes(scratch_.data(), scratch_.size(), error);
+}
+
+bool
+TraceFileWriter::begin_stream(std::uint32_t sm, std::uint32_t warp, std::string &error)
+{
+    if (!file_ || in_stream_) {
+        error = !file_ ? "writer not open" : "previous stream not ended";
+        return false;
+    }
+    if (streams_written_ == declared_streams_) {
+        error = "more streams than declared";
+        return false;
+    }
+    if (sm >= num_sms_ || warp >= warps_per_sm_) {
+        error = "stream (sm, warp) out of range";
+        return false;
+    }
+    if (!seen_slots_.insert(static_cast<std::uint64_t>(sm) * kMaxTraceWarpsPerSm + warp)
+             .second) {
+        error = "duplicate (sm, warp) stream";
+        return false;
+    }
+    in_stream_ = true;
+    stream_sm_ = sm;
+    stream_warp_ = warp;
+    stream_records_ = 0;
+    payload_.clear();
+    encoder_ = StreamEncoder(kFormatVersion);
+    return true;
+}
+
+bool
+TraceFileWriter::add_step(const TraceStep &step, std::string &error)
+{
+    if (!in_stream_) {
+        error = "add_step outside begin_stream/end_stream";
+        return false;
+    }
+    if (step.num_lines > WarpStep::kMaxLinesPerInst) {
+        error = "step exceeds max lines per instruction";
+        return false;
+    }
+    encoder_.add(step, payload_);
+    ++stream_records_;
+    return true;
+}
+
+bool
+TraceFileWriter::end_stream(std::string &error)
+{
+    if (!in_stream_) {
+        error = "end_stream without begin_stream";
+        return false;
+    }
+    in_stream_ = false;
+    scratch_.clear();
+    put_varint(scratch_, stream_sm_);
+    put_varint(scratch_, stream_warp_);
+    put_varint(scratch_, stream_records_);
+    put_varint(scratch_, payload_.size());
+    if (rle_) {
+        const std::vector<std::uint8_t> packed = rle_compress(payload_);
+        put_varint(scratch_, packed.size());
+        if (!write_bytes(scratch_.data(), scratch_.size(), error) ||
+            !write_bytes(packed.data(), packed.size(), error))
+            return false;
+    } else {
+        put_varint(scratch_, payload_.size());
+        if (!write_bytes(scratch_.data(), scratch_.size(), error) ||
+            !write_bytes(payload_.data(), payload_.size(), error))
+            return false;
+    }
+    records_written_ += stream_records_;
+    ++streams_written_;
+    payload_.clear();
+    return true;
+}
+
+bool
+TraceFileWriter::add_encoded_stream(std::uint32_t sm, std::uint32_t warp,
+                                    std::uint64_t record_count,
+                                    const std::vector<std::uint8_t> &payload,
+                                    std::string &error)
+{
+    if (!begin_stream(sm, warp, error))
+        return false;
+    if (record_count > payload.size() / kMinRecordBytes) {
+        in_stream_ = false;
+        error = "impossible record count for payload size";
+        return false;
+    }
+    payload_ = payload;
+    stream_records_ = record_count;
+    return end_stream(error);
+}
+
+bool
+TraceFileWriter::close(std::string &error)
+{
+    if (!file_)
+        return true;
+    bool ok = true;
+    if (in_stream_) {
+        error = "close with an unfinished stream";
+        ok = false;
+    }
+    if (ok && streams_written_ != declared_streams_) {
+        error = "fewer streams written than declared";
+        ok = false;
+    }
+    if (std::fclose(file_) != 0 && ok) {
+        error = "short write to '" + path_ + "'";
+        ok = false;
+    }
+    file_ = nullptr;
+    return ok;
+}
+
+} // namespace morpheus::trace

@@ -101,7 +101,7 @@ TEST(ResultCacheKey, GoldenKeyIsPinned)
     // Checkpoint::kFormatVersion, then repin (docs/CACHE_FORMAT.md).
     char hex[17];
     std::snprintf(hex, sizeof hex, "%016llx", static_cast<unsigned long long>(key));
-    EXPECT_EQ(std::string(hex), "1bae6a28c3ad034b");
+    EXPECT_EQ(std::string(hex), "b6f012deaf79a65f");
 }
 
 TEST(ResultCacheKey, SensitiveToEveryConfigAxis)

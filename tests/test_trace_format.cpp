@@ -64,10 +64,9 @@ sample_trace()
                     // Mix forward strides, backward jumps, and far jumps.
                     line = i % 9 == 0 ? line - 37 : line + 1 + 16 * l;
                     step.lines[l] = line;
+                    // Distinct per-line classes so the v2 trailer is exercised.
+                    step.cls[l] = static_cast<std::uint8_t>((i + l) % 3);
                 }
-                step.footprint = step.num_lines
-                                     ? static_cast<std::uint8_t>(i % 3)
-                                     : kClassUnknown;
                 pc += 8 * (step.alu_instrs + (step.num_lines ? 1 : 0));
                 stream.steps.push_back(step);
             }
@@ -81,6 +80,7 @@ void
 expect_traces_equal(const Trace &a, const Trace &b)
 {
     EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.version, b.version);
     EXPECT_EQ(a.num_sms, b.num_sms);
     EXPECT_EQ(a.warps_per_sm, b.warps_per_sm);
     EXPECT_EQ(a.has_profile, b.has_profile);
@@ -234,11 +234,75 @@ TEST(TraceFormat, StatsCountTypesAndClasses)
     EXPECT_EQ(st.records, t.total_records());
     EXPECT_EQ(st.records, 250u);
     EXPECT_EQ(st.mem_records, st.reads + st.writes + st.atomics);
-    EXPECT_EQ(st.mem_records,
+    // Classes are per line access in v2 (v1 stats only knew the record's
+    // first line).
+    EXPECT_EQ(st.lines,
               st.class_counts[0] + st.class_counts[1] + st.class_counts[2] +
                   st.class_counts[3]);
     EXPECT_GT(st.unique_lines, 0u);
     EXPECT_EQ(st.footprint_bytes, st.unique_lines * kLineBytes);
+    // sample_trace has one warp recorded with zero steps.
+    EXPECT_EQ(st.empty_streams, 1u);
+}
+
+TEST(TraceFormat, StatsCountClassCollisions)
+{
+    Trace t;
+    t.num_sms = 1;
+    t.warps_per_sm = 1;
+    TraceStream stream;
+    auto push = [&stream](LineAddr line, std::uint8_t cls) {
+        TraceStep step;
+        step.num_lines = 1;
+        step.lines[0] = line;
+        step.cls[0] = cls;
+        stream.steps.push_back(step);
+    };
+    push(10, kClassHigh);
+    push(10, kClassLow);          // disagrees with the first record -> collision
+    push(20, kClassLow);
+    push(20, kClassLow);          // agreement is not a collision
+    push(30, kClassUncompressed);
+    push(30, kClassUnknown);      // unknown never participates
+    t.streams.push_back(std::move(stream));
+    EXPECT_EQ(t.stats().class_collisions, 1u);
+}
+
+TEST(TraceFormat, V1EncodeDropsPerLineClasses)
+{
+    Trace t = sample_trace();
+    t.version = kFormatVersionV1;
+    const auto bytes = t.encode();
+    ASSERT_GT(bytes.size(), 5u);
+    EXPECT_EQ(bytes[4], kFormatVersionV1);
+
+    Trace out;
+    std::string error;
+    ASSERT_TRUE(Trace::decode(bytes.data(), bytes.size(), out, error)) << error;
+    EXPECT_EQ(out.version, kFormatVersionV1);
+    // v1 carries only the first line's class; the rest decode as unknown.
+    for (std::size_t s = 0; s < t.streams.size(); ++s) {
+        for (std::size_t r = 0; r < t.streams[s].steps.size(); ++r) {
+            const TraceStep &in = t.streams[s].steps[r];
+            const TraceStep &got = out.streams[s].steps[r];
+            EXPECT_EQ(got.cls[0], in.cls[0]);
+            for (std::uint32_t l = 1; l < WarpStep::kMaxLinesPerInst; ++l)
+                EXPECT_EQ(got.cls[l], kClassUnknown);
+        }
+    }
+    // And v1 re-encodes byte-identically (decode -> encode identity holds
+    // per version).
+    EXPECT_EQ(out.encode(), bytes);
+
+    // A v2 encode of the same steps is strictly richer but still
+    // byte-stable.
+    Trace v2 = sample_trace();
+    const auto bytes2 = v2.encode();
+    EXPECT_EQ(bytes2[4], kFormatVersion);
+    Trace out2;
+    ASSERT_TRUE(Trace::decode(bytes2.data(), bytes2.size(), out2, error)) << error;
+    expect_traces_equal(v2, out2);
+    EXPECT_NE(bytes2, bytes);
 }
 
 TEST(TraceFormat, DownsampleKeepsStreamPrefixes)

@@ -1,11 +1,14 @@
 /**
  * @file
- * Fuzz-style robustness tests for the `.mtrc` parser: truncated headers,
- * corrupt varints, impossible record counts, and thousands of random
- * bit/byte mutations must all produce a clean error — never UB, a crash,
- * or an unbounded allocation. The CI sanitize job (MORPHEUS_SANITIZE=ON,
- * ASan+UBSan, halt_on_error) runs this binary, which is what turns
- * "returns false" into "provably no UB" for this corpus.
+ * Fuzz-style robustness tests for the `.mtrc` parsers (the materializing
+ * decoder, the streaming TraceReader, and the text-trace converter):
+ * truncated headers, corrupt varints, impossible record counts,
+ * v1/v2 version confusion, malformed converter text, and thousands of
+ * random bit/byte mutations must all produce a clean error — never UB,
+ * a crash, or an unbounded allocation. The CI sanitize job
+ * (MORPHEUS_SANITIZE=ON, ASan+UBSan, halt_on_error) runs this binary,
+ * which is what turns "returns false" into "provably no UB" for this
+ * corpus.
  */
 #include <gtest/gtest.h>
 
@@ -13,7 +16,9 @@
 #include <vector>
 
 #include "sim/rng.hpp"
+#include "workloads/trace/trace_convert.hpp"
 #include "workloads/trace/trace_format.hpp"
+#include "workloads/trace/trace_reader.hpp"
 
 using namespace morpheus;
 using namespace morpheus::trace;
@@ -21,10 +26,11 @@ using namespace morpheus::trace;
 namespace {
 
 std::vector<std::uint8_t>
-valid_trace_bytes(bool rle)
+valid_trace_bytes(bool rle, std::uint8_t version = kFormatVersion)
 {
     Trace t;
     t.name = "fuzz-seed";
+    t.version = version;
     t.num_sms = 2;
     t.warps_per_sm = 2;
     t.rle = rle;
@@ -43,10 +49,11 @@ valid_trace_bytes(bool rle)
                 step.pc = 8ULL * static_cast<std::uint64_t>(i);
                 step.alu_instrs = static_cast<std::uint32_t>(i % 5);
                 step.num_lines = 1 + static_cast<std::uint32_t>(i % 3);
-                for (std::uint32_t l = 0; l < step.num_lines; ++l)
+                for (std::uint32_t l = 0; l < step.num_lines; ++l) {
                     step.lines[l] = line += (i % 7 == 0 ? 4096 : 1);
+                    step.cls[l] = static_cast<std::uint8_t>((i + l) % 3);
+                }
                 step.type = i % 4 ? AccessType::kRead : AccessType::kWrite;
-                step.footprint = static_cast<std::uint8_t>(i % 3);
                 stream.steps.push_back(step);
             }
             t.streams.push_back(std::move(stream));
@@ -56,7 +63,10 @@ valid_trace_bytes(bool rle)
 }
 
 /** Decoding must return a verdict (and on success, sane bounds) —
- *  anything else (crash, sanitizer report, hang) fails the test run. */
+ *  anything else (crash, sanitizer report, hang) fails the test run.
+ *  The streaming TraceReader runs over the same bytes and must agree
+ *  with the materializing decoder, except for the per-file record
+ *  ceiling that only materializing decodes enforce. */
 void
 expect_no_ub(const std::vector<std::uint8_t> &bytes)
 {
@@ -73,24 +83,49 @@ expect_no_ub(const std::vector<std::uint8_t> &bytes)
     } else {
         EXPECT_FALSE(error.empty());
     }
+
+    TraceReader reader;
+    std::string rerror;
+    const bool rok = reader.init(bytes.data(), bytes.size(), rerror);
+    if (ok != rok) {
+        EXPECT_TRUE(!ok && error.find("ceiling") != std::string::npos)
+            << "parser disagreement: decode said '" << error << "', reader said '"
+            << rerror << "'";
+    }
+    if (rok) {
+        // A validated reader's cursors never fail mid-walk; the streaming
+        // stats pass drains every record of every stream.
+        TraceStats st;
+        std::string serror;
+        EXPECT_TRUE(reader.stats(st, serror)) << serror;
+    } else {
+        EXPECT_FALSE(rerror.empty());
+    }
 }
 
 } // namespace
 
 TEST(TraceFuzz, AllTruncationsError)
 {
-    for (bool rle : {true, false}) {
-        const auto bytes = valid_trace_bytes(rle);
-        Trace out;
-        std::string error;
-        ASSERT_TRUE(Trace::decode(bytes.data(), bytes.size(), out, error)) << error;
-        // Every proper prefix must fail cleanly (trailing-byte and
-        // truncation checks make the full buffer the only valid parse).
-        for (std::size_t len = 0; len < bytes.size(); ++len) {
-            error.clear();
-            EXPECT_FALSE(Trace::decode(bytes.data(), len, out, error))
-                << "prefix of " << len << " bytes parsed";
-            EXPECT_FALSE(error.empty());
+    for (std::uint8_t version : {kFormatVersionV1, kFormatVersion}) {
+        for (bool rle : {true, false}) {
+            const auto bytes = valid_trace_bytes(rle, version);
+            Trace out;
+            std::string error;
+            ASSERT_TRUE(Trace::decode(bytes.data(), bytes.size(), out, error)) << error;
+            // Every proper prefix must fail cleanly (trailing-byte and
+            // truncation checks make the full buffer the only valid parse).
+            for (std::size_t len = 0; len < bytes.size(); ++len) {
+                error.clear();
+                EXPECT_FALSE(Trace::decode(bytes.data(), len, out, error))
+                    << "prefix of " << len << " bytes parsed";
+                EXPECT_FALSE(error.empty());
+
+                TraceReader reader;
+                error.clear();
+                EXPECT_FALSE(reader.init(bytes.data(), len, error))
+                    << "reader accepted a prefix of " << len << " bytes";
+            }
         }
     }
 }
@@ -98,13 +133,37 @@ TEST(TraceFuzz, AllTruncationsError)
 TEST(TraceFuzz, RandomSingleByteMutations)
 {
     Rng rng(0xF022'0001);
+    for (std::uint8_t version : {kFormatVersionV1, kFormatVersion}) {
+        for (bool rle : {true, false}) {
+            const auto base = valid_trace_bytes(rle, version);
+            for (int iter = 0; iter < 1500; ++iter) {
+                auto bytes = base;
+                const std::size_t at = rng.next_below(bytes.size());
+                bytes[at] ^= static_cast<std::uint8_t>(1 + rng.next_below(255));
+                expect_no_ub(bytes);
+            }
+        }
+    }
+}
+
+TEST(TraceFuzz, VersionConfusionIsDetected)
+{
+    // Relabeling the version byte must never be silently accepted: the
+    // seed trace has multi-line records, so a v2 payload carries per-line
+    // class trailers v1 never wrote and vice versa — the stream's decoded
+    // byte count can't tile into records of the other version.
     for (bool rle : {true, false}) {
-        const auto base = valid_trace_bytes(rle);
-        for (int iter = 0; iter < 3000; ++iter) {
-            auto bytes = base;
-            const std::size_t at = rng.next_below(bytes.size());
-            bytes[at] ^= static_cast<std::uint8_t>(1 + rng.next_below(255));
-            expect_no_ub(bytes);
+        auto v2_as_v1 = valid_trace_bytes(rle, kFormatVersion);
+        v2_as_v1[4] = kFormatVersionV1;
+        auto v1_as_v2 = valid_trace_bytes(rle, kFormatVersionV1);
+        v1_as_v2[4] = kFormatVersion;
+
+        for (const auto *bytes : {&v2_as_v1, &v1_as_v2}) {
+            expect_no_ub(*bytes);
+            Trace out;
+            std::string error;
+            EXPECT_FALSE(Trace::decode(bytes->data(), bytes->size(), out, error));
+            EXPECT_FALSE(error.empty());
         }
     }
 }
@@ -314,4 +373,73 @@ TEST(TraceFuzz, CraftedImpossibleCounts)
         put_varint(b, 0);
         b.push_back(0xAA);
     });
+}
+
+TEST(TraceFuzz, ConverterMutatedText)
+{
+    // The text-trace converter is fed hostile input by design (real GPU
+    // dumps, hand-edited files). Mutations of a valid sample must either
+    // fail with a line-numbered error or succeed with a verifiable .mtrc
+    // — and the caps on tokens/addresses keep every iteration's work
+    // bounded no matter what the mutation produced.
+    const std::string base =
+        "kernel fuzz\n"
+        "# a comment line\n"
+        "cta 0,0,0 warp 0 PC 0x100 LDG.E addrs 0x1000 0x1080 0x0\n"
+        "cta 0,0,0 warp 1 STG.E addrs 0x2000 0x2004 0x2100\n"
+        "warp 2 RED.ADD addrs 0x3000 0x3004\n"
+        "cta 0,0,0 warp 0 LDS addrs 0x0\n"
+        "cta 1,0,0 warp 0 PC 0x140 LDG.E addrs 0x4000\n";
+    const std::string out_path = testing::TempDir() + "/fuzz_convert.mtrc";
+
+    Rng rng(0xF022'0004);
+    int accepted = 0;
+    for (int iter = 0; iter < 500; ++iter) {
+        std::string text = base;
+        const int edits = 1 + static_cast<int>(rng.next_below(6));
+        for (int e = 0; e < edits; ++e) {
+            switch (rng.next_below(4)) {
+              case 0:  // overwrite one byte (any value, including NUL/newline)
+                text[rng.next_below(text.size())] =
+                    static_cast<char>(rng.next_u64());
+                break;
+              case 1:  // truncate
+                text.resize(1 + rng.next_below(text.size()));
+                break;
+              case 2: {  // duplicate a slice (token soup, repeated lines)
+                const std::size_t from = rng.next_below(text.size());
+                const std::size_t len =
+                    rng.next_below(text.size() - from) + 1;
+                text += text.substr(from, len);
+                break;
+              }
+              default:  // splice a hostile token
+                text += " 0xFFFFFFFFFFFFFFFFF";
+                break;
+            }
+        }
+        trace::ConvertOptions options;
+        trace::ConvertStats stats;
+        std::string error;
+        const bool ok = convert_text_trace(text.data(), text.size(), out_path,
+                                           options, stats, error);
+        if (ok) {
+            ++accepted;
+            // Whatever survived conversion must be a canonical, fully
+            // walkable v2 trace.
+            TraceReader reader;
+            std::string rerror;
+            ASSERT_TRUE(reader.open(out_path, rerror)) << rerror;
+            EXPECT_EQ(reader.version(), kFormatVersion);
+            TraceStats st;
+            EXPECT_TRUE(reader.stats(st, rerror)) << rerror;
+            EXPECT_EQ(st.records, stats.records);
+        } else {
+            EXPECT_FALSE(error.empty());
+        }
+    }
+    // The corpus is mutation-heavy, but pure truncations and slice
+    // duplications often stay grammatical: both verdicts must occur.
+    EXPECT_GT(accepted, 0);
+    EXPECT_LT(accepted, 500);
 }

@@ -196,24 +196,61 @@ TEST(TraceReplay, DownsampledTraceReplaysEndToEnd)
 
 TEST(TraceReplay, ProfilelessTraceSynthesizesRecordedClasses)
 {
-    // Strip the profile: replay must fall back to per-record footprint
-    // classes, and blocks must BDI-compress to the recorded level.
+    // Strip the profile: replay must fall back to the per-line footprint
+    // classes, and blocks must BDI-compress to the recorded level — for
+    // EVERY line of a multi-line step, not just the first (the v1 gap).
     trace::Trace trace = recorded_trace();
     trace.has_profile = false;
     TraceWorkload replay(trace);
 
     std::uint64_t checked = 0;
+    std::uint64_t beyond_first = 0;
     for (const auto &stream : trace.streams) {
         for (const auto &step : stream.steps) {
-            if (step.num_lines == 0 || step.footprint == trace::kClassUnknown)
-                continue;
-            const Block block = replay.synthesize_block(step.lines[0]);
-            const BdiResult bdi = bdi_compress(block);
-            EXPECT_EQ(static_cast<std::uint8_t>(bdi.level), step.footprint)
-                << "line " << step.lines[0];
-            if (++checked == 200)
-                return;  // a representative sample is plenty
+            for (std::uint32_t i = 0; i < step.num_lines; ++i) {
+                if (step.cls[i] == trace::kClassUnknown)
+                    continue;
+                const Block block = replay.synthesize_block(step.lines[i]);
+                const BdiResult bdi = bdi_compress(block);
+                EXPECT_EQ(static_cast<std::uint8_t>(bdi.level), step.cls[i])
+                    << "line " << step.lines[i] << " (index " << i << ")";
+                beyond_first += i > 0;
+                if (++checked == 400 && beyond_first > 0)
+                    return;  // a representative sample is plenty
+            }
         }
     }
     EXPECT_GT(checked, 0u);
+}
+
+TEST(TraceReplay, ClassCollisionsResolveToHighestCompression)
+{
+    // Two records disagree on a line's class: the replay must pick the
+    // highest-compression (numerically smallest) class, regardless of
+    // record order. Before the fix, whichever record happened to come
+    // first silently won.
+    for (bool low_first : {false, true}) {
+        trace::Trace t;
+        t.name = "collide";
+        t.num_sms = 1;
+        t.warps_per_sm = 1;
+        t.has_profile = false;
+        trace::TraceStream stream;
+        auto push = [&stream](std::uint8_t cls) {
+            trace::TraceStep step;
+            step.num_lines = 1;
+            step.lines[0] = 42;
+            step.cls[0] = cls;
+            stream.steps.push_back(step);
+        };
+        push(low_first ? trace::kClassLow : trace::kClassHigh);
+        push(low_first ? trace::kClassHigh : trace::kClassLow);
+        t.streams.push_back(std::move(stream));
+
+        EXPECT_EQ(t.stats().class_collisions, 1u);
+        TraceWorkload replay(t);
+        const BdiResult bdi = bdi_compress(replay.synthesize_block(42));
+        EXPECT_EQ(bdi.level, CompLevel::kHigh)
+            << (low_first ? "low recorded first" : "high recorded first");
+    }
 }

@@ -1,0 +1,62 @@
+#!/bin/sh
+# CLI edge-case drill for the trace tool (registered as the
+# `trace_cli_smoke` ctest entry; $1 = directory with the built binaries).
+#
+#  - `downsample --keep 0` is a legal edge: every stream survives with
+#    zero records, stat reports them, verify stays byte-canonical, and
+#    replay terminates with zero instructions.
+#  - `convert` rejects malformed text with a line-numbered error and
+#    round-trips well-formed text through verify/stat.
+set -eu
+
+BUILD="$1"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+export MORPHEUS_WORK_SCALE=0.02
+
+# --- downsample --keep 0 ----------------------------------------------------
+"$BUILD/morpheus_trace" record kmeans --sms 4 --warps 4 --mem-instrs 2000 \
+    --out "$TMP/full.mtrc" > /dev/null
+"$BUILD/morpheus_trace" downsample "$TMP/full.mtrc" "$TMP/empty.mtrc" --keep 0 \
+    > /dev/null
+"$BUILD/morpheus_trace" verify "$TMP/empty.mtrc" > /dev/null
+"$BUILD/morpheus_trace" stat "$TMP/empty.mtrc" > "$TMP/stat.txt"
+grep -Eq 'streams +16' "$TMP/stat.txt"
+grep -Eq 'empty streams +16' "$TMP/stat.txt"
+grep -Eq '^records +0' "$TMP/stat.txt"
+# Replay of an all-empty trace must be well-defined: warps retire
+# immediately and the run terminates cleanly.
+"$BUILD/bench_trace_replay" --trace "$TMP/empty.mtrc" --jobs 1 > /dev/null
+
+# --- converter rejects malformed input with line numbers --------------------
+printf 'warp 0 LDG.E addrs 0xZZ\n' > "$TMP/bad.trace"
+if "$BUILD/morpheus_trace" convert "$TMP/bad.trace" "$TMP/bad.mtrc" \
+    2> "$TMP/err.txt"; then
+    echo "convert accepted a malformed address" >&2
+    exit 1
+fi
+grep -q 'line 1' "$TMP/err.txt"
+
+printf '# nothing but comments\n\n' > "$TMP/none.trace"
+if "$BUILD/morpheus_trace" convert "$TMP/none.trace" "$TMP/none.mtrc" \
+    2> /dev/null; then
+    echo "convert accepted an instruction-free file" >&2
+    exit 1
+fi
+
+# --- converter round-trip ----------------------------------------------------
+{
+    printf 'kernel smoke\n'
+    printf 'cta 0,0,0 warp 0 PC 0x80 LDG.E addrs 0x100 0x200 0x0\n'
+    printf 'cta 0,0,0 warp 0 LDS addrs 0x0\n'
+    printf 'cta 0,0,0 warp 0 PC 0x90 STG.E addrs 0x100\n'
+    printf 'cta 1,0,0 warp 2 RED.ADD addrs 0x4000\n'
+} > "$TMP/ok.trace"
+"$BUILD/morpheus_trace" convert "$TMP/ok.trace" "$TMP/ok.mtrc" --sms 2 > /dev/null
+"$BUILD/morpheus_trace" verify "$TMP/ok.mtrc" > /dev/null
+"$BUILD/morpheus_trace" stat "$TMP/ok.mtrc" > "$TMP/okstat.txt"
+grep -Eq 'format version +2' "$TMP/okstat.txt"
+grep -Eq 'workload +smoke' "$TMP/okstat.txt"
+"$BUILD/bench_trace_replay" --trace "$TMP/ok.mtrc" --jobs 1 > /dev/null
+
+echo "trace_cli_smoke: OK"

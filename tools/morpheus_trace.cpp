@@ -7,6 +7,7 @@
  * Usage:
  *   morpheus_trace record <app> --out FILE [--sms N] [--warps N]
  *                  [--mem-instrs N] [--raw]
+ *   morpheus_trace convert IN OUT [--sms N] [--name S] [--raw]
  *   morpheus_trace stat FILE
  *   morpheus_trace downsample FILE OUT --keep FRAC
  *   morpheus_trace verify FILE
@@ -14,7 +15,10 @@
  *   record      drain-records catalog app <app> (MORPHEUS_WORK_SCALE
  *               honored; --mem-instrs overrides the scaled budget,
  *               --sms/--warps the partitioning, --raw disables RLE)
+ *   convert     ingests Accel-Sim/NVBit-style memory-trace text
+ *               (docs/TRACE_FORMAT.md) into .mtrc v2
  *   stat        prints header fields and aggregate stream statistics
+ *               (streaming: works on traces too large to materialize)
  *   downsample  keeps the leading FRAC of every warp stream
  *   verify      decode -> re-encode must be byte-identical
  *
@@ -30,6 +34,8 @@
 #include "harness/table.hpp"
 #include "workloads/app_catalog.hpp"
 #include "workloads/synthetic_workload.hpp"
+#include "workloads/trace/trace_convert.hpp"
+#include "workloads/trace/trace_reader.hpp"
 #include "workloads/trace/trace_recorder.hpp"
 #include "workloads/trace/trace_workload.hpp"
 
@@ -43,6 +49,7 @@ usage()
     std::fprintf(stderr,
                  "usage: morpheus_trace record <app> --out FILE [--sms N] [--warps N]"
                  " [--mem-instrs N] [--raw]\n"
+                 "       morpheus_trace convert IN OUT [--sms N] [--name S] [--raw]\n"
                  "       morpheus_trace stat FILE\n"
                  "       morpheus_trace downsample FILE OUT --keep FRAC\n"
                  "       morpheus_trace verify FILE\n");
@@ -148,22 +155,37 @@ cmd_record(int argc, char **argv)
 int
 cmd_stat(const char *path)
 {
-    trace::Trace trace;
+    // The streaming reader keeps stat usable on traces far beyond the
+    // materializing decoder's record ceiling; it also validates every
+    // record up front, so stats() below cannot fail.
+    trace::TraceReader reader;
     std::string error;
-    if (!trace::Trace::load_file(path, trace, error)) {
+    if (!reader.open(path, error)) {
         std::fprintf(stderr, "morpheus_trace: %s\n", error.c_str());
         return 1;
     }
-    const trace::TraceStats st = trace.stats();
-    const std::vector<std::uint8_t> encoded = trace.encode();
+    trace::TraceStats st;
+    if (!reader.stats(st, error)) {
+        std::fprintf(stderr, "morpheus_trace: %s\n", error.c_str());
+        return 1;
+    }
+
+    std::uint64_t file_bytes = 0;
+    if (std::FILE *f = std::fopen(path, "rb")) {
+        if (std::fseek(f, 0, SEEK_END) == 0)
+            file_bytes = static_cast<std::uint64_t>(std::ftell(f));
+        std::fclose(f);
+    }
 
     Table table({"field", "value"});
-    table.add_row({"workload", trace.name});
-    table.add_row({"recorded SMs", std::to_string(trace.num_sms)});
-    table.add_row({"warps/SM", std::to_string(trace.warps_per_sm)});
-    table.add_row({"streams", std::to_string(trace.streams.size())});
-    table.add_row({"block profile", trace.has_profile ? "embedded" : "per-record classes"});
-    table.add_row({"RLE", trace.rle ? "yes" : "no"});
+    table.add_row({"workload", reader.name()});
+    table.add_row({"format version", std::to_string(reader.version())});
+    table.add_row({"recorded SMs", std::to_string(reader.num_sms())});
+    table.add_row({"warps/SM", std::to_string(reader.warps_per_sm())});
+    table.add_row({"streams", std::to_string(reader.stream_count())});
+    table.add_row({"empty streams", std::to_string(st.empty_streams)});
+    table.add_row({"block profile", reader.has_profile() ? "embedded" : "per-record classes"});
+    table.add_row({"RLE", reader.rle() ? "yes" : "no"});
     table.add_row({"records", std::to_string(st.records)});
     table.add_row({"memory records", std::to_string(st.mem_records)});
     table.add_row({"line accesses", std::to_string(st.lines)});
@@ -176,16 +198,52 @@ cmd_stat(const char *path)
                        std::to_string(st.class_counts[1]) + " / " +
                        std::to_string(st.class_counts[2]) + " / " +
                        std::to_string(st.class_counts[3])});
+    table.add_row({"class collisions", std::to_string(st.class_collisions)});
     table.add_row({"unique lines", std::to_string(st.unique_lines)});
     table.add_row({"footprint", std::to_string(st.footprint_bytes / 1024) + " KiB"});
-    table.add_row({"encoded size", std::to_string(encoded.size()) + " B"});
+    table.add_row({"encoded size", std::to_string(file_bytes) + " B"});
     if (st.records > 0) {
         table.add_row({"bytes/record",
-                       fmt(static_cast<double>(encoded.size()) /
+                       fmt(static_cast<double>(file_bytes) /
                                static_cast<double>(st.records),
                            2)});
     }
     table.print();
+    return 0;
+}
+
+int
+cmd_convert(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const char *in_path = argv[0];
+    const char *out_path = argv[1];
+    trace::ConvertOptions options;
+    for (int i = 2; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--sms") == 0 && i + 1 < argc) {
+            if (!parse_u32(argv[++i], options.num_sms))
+                return usage();
+        } else if (std::strcmp(argv[i], "--name") == 0 && i + 1 < argc) {
+            options.name = argv[++i];
+        } else if (std::strcmp(argv[i], "--raw") == 0) {
+            options.rle = false;
+        } else {
+            return usage();
+        }
+    }
+    trace::ConvertStats st;
+    std::string error;
+    if (!trace::convert_text_file(in_path, out_path, options, st, error)) {
+        std::fprintf(stderr, "morpheus_trace: %s: %s\n", in_path, error.c_str());
+        return 1;
+    }
+    std::printf("converted %s: %" PRIu64 " instruction lines (+%" PRIu64
+                " local/shared) -> %" PRIu64 " records, %" PRIu64
+                " line accesses over %" PRIu64 " streams (%u SMs, %" PRIu64
+                " inactive lanes skipped) -> %s\n",
+                in_path, st.instr_lines, st.local_ops, st.records, st.line_accesses,
+                st.streams, options.num_sms, st.inactive_lanes, out_path);
     return 0;
 }
 
@@ -269,6 +327,8 @@ main(int argc, char **argv)
     const char *cmd = argv[1];
     if (std::strcmp(cmd, "record") == 0)
         return cmd_record(argc - 2, argv + 2);
+    if (std::strcmp(cmd, "convert") == 0)
+        return cmd_convert(argc - 2, argv + 2);
     if (std::strcmp(cmd, "stat") == 0 && argc == 3)
         return cmd_stat(argv[2]);
     if (std::strcmp(cmd, "downsample") == 0 && argc == 6 &&
