@@ -63,6 +63,11 @@ struct ScenarioOptions
     std::string cache_dir;
     ResultStore *result_store = nullptr;
     ///@}
+
+    /** Shared simulation-concurrency gate (the serve daemon's pool
+     *  governor; harness/sweep_engine.hpp). Not owned; nullptr runs
+     *  ungated. */
+    class ConcurrencyGate *sim_gate = nullptr;
 };
 
 /** One runnable experiment (a paper figure/table or an example sweep). */

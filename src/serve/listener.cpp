@@ -1,0 +1,279 @@
+#include "serve/listener.hpp"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "serve/serve.hpp"
+
+namespace morpheus {
+namespace {
+
+/** Sends all of @p data plus a newline. MSG_NOSIGNAL: a client that
+ *  hung up must cost us an EPIPE, never a SIGPIPE. */
+bool
+send_line(int fd, const std::string &data)
+{
+    std::string line = data;
+    line += '\n';
+    std::size_t off = 0;
+    while (off < line.size()) {
+        const ssize_t n =
+            ::send(fd, line.data() + off, line.size() - off, MSG_NOSIGNAL);
+        if (n <= 0)
+            return false;
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+int
+open_unix_listener(const std::string &path, int backlog, std::string &error)
+{
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        error = std::string("socket: ") + std::strerror(errno);
+        return -1;
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        error = "socket path too long: " + path;
+        ::close(fd);
+        return -1;
+    }
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    ::unlink(path.c_str()); // stale socket from a dead daemon
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof addr) != 0 ||
+        ::listen(fd, backlog) != 0) {
+        error = std::string("bind/listen ") + path + ": " + std::strerror(errno);
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+int
+open_tcp_listener(const std::string &host, std::uint16_t port, int backlog,
+                  std::uint16_t &bound_port, std::string &error)
+{
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    hints.ai_flags = AI_PASSIVE;
+    addrinfo *res = nullptr;
+    const std::string port_str = std::to_string(port);
+    const int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                                 port_str.c_str(), &hints, &res);
+    if (rc != 0 || !res) {
+        error = "cannot resolve '" + host + "': " + ::gai_strerror(rc);
+        return -1;
+    }
+    const int fd = ::socket(res->ai_family, res->ai_socktype, res->ai_protocol);
+    if (fd < 0) {
+        error = std::string("socket: ") + std::strerror(errno);
+        ::freeaddrinfo(res);
+        return -1;
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    const bool bound = ::bind(fd, res->ai_addr, res->ai_addrlen) == 0 &&
+                       ::listen(fd, backlog) == 0;
+    ::freeaddrinfo(res);
+    if (!bound) {
+        error = "bind/listen " + (host.empty() ? "*" : host) + ":" + port_str + ": " +
+                std::strerror(errno);
+        ::close(fd);
+        return -1;
+    }
+    sockaddr_in bound_addr{};
+    socklen_t len = sizeof bound_addr;
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&bound_addr), &len) == 0)
+        bound_port = ntohs(bound_addr.sin_port);
+    else
+        bound_port = port;
+    return fd;
+}
+
+} // namespace
+
+bool
+parse_listen_spec(const std::string &spec, std::string &host, std::uint16_t &port)
+{
+    const std::size_t colon = spec.rfind(':');
+    if (colon == std::string::npos || colon + 1 == spec.size())
+        return false;
+    host = spec.substr(0, colon);
+    const std::string port_str = spec.substr(colon + 1);
+    char *end = nullptr;
+    const unsigned long v = std::strtoul(port_str.c_str(), &end, 10);
+    if (!end || *end != '\0' || v > 65535)
+        return false;
+    port = static_cast<std::uint16_t>(v);
+    return true;
+}
+
+ServerLoop::ServerLoop(ServeHandler &handler, Options options)
+    : handler_(handler), options_(std::move(options))
+{
+}
+
+ServerLoop::~ServerLoop()
+{
+    stop();
+    for (int fd : listen_fds_)
+        ::close(fd);
+    if (!options_.unix_path.empty())
+        ::unlink(options_.unix_path.c_str());
+}
+
+bool
+ServerLoop::start(std::string &error)
+{
+    if (options_.unix_path.empty() && options_.tcp_spec.empty()) {
+        error = "no endpoints configured (need --socket and/or --listen)";
+        return false;
+    }
+    if (!options_.unix_path.empty()) {
+        const int fd = open_unix_listener(options_.unix_path, options_.backlog, error);
+        if (fd < 0)
+            return false;
+        listen_fds_.push_back(fd);
+        endpoint_descs_.push_back("unix:" + options_.unix_path);
+    }
+    if (!options_.tcp_spec.empty()) {
+        std::string host;
+        std::uint16_t port;
+        if (!parse_listen_spec(options_.tcp_spec, host, port)) {
+            error = "bad --listen spec '" + options_.tcp_spec + "' (want HOST:PORT)";
+            for (int fd : listen_fds_)
+                ::close(fd);
+            listen_fds_.clear();
+            return false;
+        }
+        const int fd = open_tcp_listener(host, port, options_.backlog, tcp_port_, error);
+        if (fd < 0) {
+            for (int f : listen_fds_)
+                ::close(f);
+            listen_fds_.clear();
+            return false;
+        }
+        listen_fds_.push_back(fd);
+        endpoint_descs_.push_back("tcp:" + (host.empty() ? "*" : host) + ":" +
+                                  std::to_string(tcp_port_));
+    }
+    return true;
+}
+
+void
+ServerLoop::stop()
+{
+    if (stopping_.exchange(true))
+        return;
+    // Wake every blocked accept() so the loops observe the flag.
+    for (int fd : listen_fds_)
+        ::shutdown(fd, SHUT_RDWR);
+}
+
+void
+ServerLoop::serve_connection(int fd)
+{
+    std::string buf;
+    const int timeout = options_.read_timeout_ms == 0
+                            ? -1
+                            : static_cast<int>(options_.read_timeout_ms);
+    while (!stopping_.load()) {
+        pollfd pfd{fd, POLLIN, 0};
+        const int pr = ::poll(&pfd, 1, timeout);
+        if (pr < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (pr == 0) {
+            // Silent too long. Mid-line means a stalled (or slow-loris)
+            // writer — tell it why before hanging up; a clean idle
+            // between requests just closes.
+            if (!buf.empty())
+                send_line(fd, "{\"status\": \"error\", \"code\": \"timeout\", "
+                              "\"error\": \"read timeout mid-request\"}");
+            break;
+        }
+        char chunk[4096];
+        const ssize_t n = ::read(fd, chunk, sizeof chunk);
+        if (n <= 0)
+            break; // EOF or error; an abrupt mid-line disconnect lands here
+        buf.append(chunk, static_cast<std::size_t>(n));
+
+        std::size_t pos;
+        while ((pos = buf.find('\n')) != std::string::npos) {
+            std::string line = buf.substr(0, pos);
+            buf.erase(0, pos + 1);
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back(); // be kind to netcat/telnet
+            bool shutdown = false;
+            const std::string response = handler_.handle_line(line, shutdown);
+            const bool sent = send_line(fd, response);
+            if (shutdown) {
+                stop();
+                ::close(fd);
+                return;
+            }
+            if (!sent) {
+                ::close(fd);
+                return;
+            }
+        }
+        if (buf.size() > options_.max_line_bytes) {
+            // Bound the line buffer BEFORE a newline ever arrives: an
+            // attacker streaming an endless line cannot balloon memory.
+            send_line(fd, "{\"status\": \"error\", \"code\": \"too_long\", "
+                          "\"error\": \"request line exceeds " +
+                              std::to_string(options_.max_line_bytes) + " bytes\"}");
+            break;
+        }
+    }
+    ::close(fd);
+}
+
+void
+ServerLoop::accept_loop(int listen_fd)
+{
+    std::vector<std::thread> connections;
+    std::mutex mu;
+    while (!stopping_.load()) {
+        const int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd < 0) {
+            if (stopping_.load())
+                break;
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue;
+            break;
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        connections.emplace_back([this, fd] { serve_connection(fd); });
+    }
+    for (auto &t : connections)
+        t.join();
+}
+
+void
+ServerLoop::run()
+{
+    std::vector<std::thread> acceptors;
+    acceptors.reserve(listen_fds_.size());
+    for (int fd : listen_fds_)
+        acceptors.emplace_back([this, fd] { accept_loop(fd); });
+    for (auto &t : acceptors)
+        t.join();
+}
+
+} // namespace morpheus

@@ -1,0 +1,93 @@
+#ifndef MORPHEUS_SERVE_LISTENER_HPP_
+#define MORPHEUS_SERVE_LISTENER_HPP_
+
+/**
+ * @file
+ * Socket transports for the serve daemon (docs/SERVE_PROTOCOL.md
+ * "Transports").
+ *
+ * One ServerLoop drives any number of listening endpoints — an AF_UNIX
+ * socket (`--socket PATH`), a TCP socket (`--listen HOST:PORT`), or
+ * both — through a single shared accept-loop implementation: each
+ * endpoint gets an accept thread, each accepted connection a
+ * line-reader thread, and every parsed request line goes through one
+ * ServeHandler::handle_line(). The transports therefore cannot drift:
+ * everything protocol-level lives in the handler, everything
+ * byte-stream-level lives here.
+ *
+ * Connection hygiene (the multi-tenant hardening):
+ *  - `read_timeout_ms`: a connection that goes silent mid-line gets a
+ *    structured timeout error and is closed; one idle between requests
+ *    is closed quietly. Slow-loris clients cannot pin reader threads.
+ *  - `max_line_bytes`: a request line exceeding the bound gets a
+ *    structured `too_long` error and the connection is closed before
+ *    the line is ever buffered whole. Oversized payloads cannot balloon
+ *    daemon memory.
+ * Both are drilled by tests/test_serve_protocol_fuzz.cpp (abrupt
+ * disconnects, oversized garbage, binary noise — the daemon must answer
+ * the next ping regardless).
+ */
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace morpheus {
+
+class ServeHandler;
+
+/** Splits "HOST:PORT" (host may be empty = 0.0.0.0). @return false on a
+ *  missing/invalid port. */
+bool parse_listen_spec(const std::string &spec, std::string &host, std::uint16_t &port);
+
+class ServerLoop
+{
+  public:
+    struct Options
+    {
+        std::string unix_path;          ///< empty = no AF_UNIX endpoint
+        std::string tcp_spec;           ///< "host:port"; empty = no TCP endpoint
+        std::uint64_t read_timeout_ms = 30'000; ///< 0 = wait forever
+        std::size_t max_line_bytes = 1 << 20;
+        int backlog = 64;
+    };
+
+    ServerLoop(ServeHandler &handler, Options options);
+    ~ServerLoop();
+
+    ServerLoop(const ServerLoop &) = delete;
+    ServerLoop &operator=(const ServerLoop &) = delete;
+
+    /** Binds and listens on every configured endpoint. @return false
+     *  with @p error set when any endpoint fails (all are closed). */
+    bool start(std::string &error);
+
+    /** The TCP port actually bound (resolves ":0" ephemeral binds);
+     *  0 when no TCP endpoint is configured or start() has not run. */
+    std::uint16_t tcp_port() const { return tcp_port_; }
+
+    /** Accepts and serves until a shutdown request or stop(). Joins
+     *  every connection thread before returning. */
+    void run();
+
+    /** Thread-safe external stop (signal handlers, tests). */
+    void stop();
+
+  private:
+    void accept_loop(int listen_fd);
+    void serve_connection(int fd);
+
+    ServeHandler &handler_;
+    Options options_;
+    std::vector<int> listen_fds_;
+    std::vector<std::string> endpoint_descs_;
+    std::uint16_t tcp_port_ = 0;
+    std::atomic<bool> stopping_{false};
+};
+
+} // namespace morpheus
+
+#endif // MORPHEUS_SERVE_LISTENER_HPP_

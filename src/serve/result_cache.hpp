@@ -49,6 +49,11 @@ inline constexpr std::uint32_t kResultCacheVersion = 2;
 /** Entry file magic: "MRCE" little-endian (Morpheus Result Cache Entry). */
 inline constexpr std::uint32_t kResultCacheMagic = 0x4543524DU;
 
+/** Export container magic: "MRCX" little-endian (`.mrcx`, a
+ *  concatenation of raw entries behind a 16-byte header; see
+ *  docs/CACHE_FORMAT.md "Export/import"). */
+inline constexpr std::uint32_t kResultCacheExportMagic = 0x5843524DU;
+
 /** Content key of one simulation configuration: FNV-1a 64 over the
  *  canonical bytes of (cache version, report schema version, setup,
  *  params). Identical on every platform and process — keys are portable
@@ -62,6 +67,39 @@ struct CacheStats
     std::atomic<std::uint64_t> misses{0};     ///< simulated (no valid entry)
     std::atomic<std::uint64_t> stores{0};     ///< entries written
     std::atomic<std::uint64_t> evictions{0};  ///< invalid entries deleted
+    std::atomic<std::uint64_t> gc_evictions{0}; ///< valid entries evicted by gc
+};
+
+/** One directory scan's worth of size accounting. `.tmp.` leftovers are
+ *  counted too: they are real bytes on disk, so a byte budget that
+ *  ignored them would not be a bound (docs/CACHE_FORMAT.md "Size
+ *  accounting and garbage collection"). */
+struct CacheUsage
+{
+    std::uint64_t entry_count = 0;  ///< complete `.mrce` entries
+    std::uint64_t entry_bytes = 0;
+    std::uint64_t tmp_count = 0;    ///< `.tmp.` files (in-progress or orphaned)
+    std::uint64_t tmp_bytes = 0;
+
+    std::uint64_t total_bytes() const { return entry_bytes + tmp_bytes; }
+};
+
+/** What one gc() pass did. */
+struct GcResult
+{
+    std::uint64_t evicted_entries = 0;  ///< valid entries removed (atime order)
+    std::uint64_t evicted_bytes = 0;
+    std::uint64_t reaped_tmp = 0;       ///< stale `.tmp.` files removed
+    std::uint64_t reaped_tmp_bytes = 0;
+    std::uint64_t kept_entries = 0;
+    std::uint64_t kept_bytes = 0;       ///< entry + live tmp bytes remaining
+};
+
+/** import_entries() tally. */
+struct ImportResult
+{
+    std::uint64_t imported = 0;   ///< records validated and written
+    std::uint64_t replaced = 0;   ///< of those, how many overwrote an entry
 };
 
 /**
@@ -93,7 +131,8 @@ class ResultCache : public ResultStore
     /**
      * Loads and fully validates the entry for @p key. @return true and
      * fill @p out on a valid entry; false on absent OR invalid (an
-     * invalid entry is evicted first). Never throws on bad bytes.
+     * invalid entry is evicted first). Never throws on bad bytes. A hit
+     * bumps the entry's access time, which is the gc() eviction order.
      */
     bool lookup(std::uint64_t key, RunResult &out);
 
@@ -105,7 +144,46 @@ class ResultCache : public ResultStore
     RunResult get_or_run(const SystemSetup &setup, const WorkloadParams &params,
                          const std::function<RunResult()> &run, bool *hit = nullptr) override;
 
+    /** Scans the directory and accounts every entry AND `.tmp.` file. */
+    CacheUsage usage() const;
+
+    /**
+     * Garbage-collects down to @p max_bytes total (entries + tmp files):
+     * first reaps stale `.tmp.` leftovers (writer process dead, or our
+     * own pid with no write in progress), then evicts complete entries
+     * in access-time order (oldest first, key as the deterministic
+     * tie-break) until the directory fits the budget. Entries whose key
+     * is in flight (a get_or_run() fill in progress) and tmp files being
+     * actively written are never touched, so gc racing a concurrent fill
+     * is safe (tests/test_cache_gc.cpp). @return false only on scan
+     * errors; an over-budget directory that cannot shrink further (all
+     * survivors in flight / live foreign tmps) still returns true.
+     */
+    bool gc(std::uint64_t max_bytes, GcResult &out, std::string &error);
+
+    /**
+     * Writes every valid entry, sorted by key, into one `.mrcx`
+     * container file at @p path (docs/CACHE_FORMAT.md "Export/import").
+     * Invalid entries encountered are evicted and skipped, as lookup()
+     * would. @return false on I/O failure.
+     */
+    bool export_entries(const std::string &path, std::uint64_t &count,
+                        std::string &error);
+
+    /**
+     * Imports a container written by export_entries(): every record is
+     * fully re-validated (header fields, digest, payload shape) before
+     * being published via the normal temp + rename protocol — a
+     * corrupted container never installs a bad entry. The first invalid
+     * record aborts with @return false (records already imported stay,
+     * each individually valid).
+     */
+    bool import_entries(const std::string &path, ImportResult &out,
+                        std::string &error);
+
   private:
+    bool evictable(std::uint64_t key);
+
     std::string dir_;
     bool ok_ = false;
     std::string error_;
@@ -114,6 +192,7 @@ class ResultCache : public ResultStore
     std::mutex mu_;
     std::condition_variable cv_;
     std::unordered_set<std::uint64_t> inflight_;
+    std::unordered_set<std::string> active_tmps_; ///< our in-progress writes
     std::atomic<std::uint64_t> tmp_seq_{0};
 };
 

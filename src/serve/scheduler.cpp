@@ -1,0 +1,86 @@
+#include "serve/scheduler.hpp"
+
+namespace morpheus {
+
+void
+AdmissionSlot::release()
+{
+    if (scheduler_) {
+        scheduler_->release_slot();
+        scheduler_ = nullptr;
+    }
+}
+
+AdmissionSlot
+SweepScheduler::acquire(int priority, bool no_wait)
+{
+    if (max_inflight_ == 0) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++inflight_;
+        if (inflight_ > peak_inflight_)
+            peak_inflight_ = inflight_;
+        ++admitted_total_;
+        return AdmissionSlot(this, false);
+    }
+
+    std::unique_lock<std::mutex> lock(mu_);
+    const auto admit = [&](bool queued) {
+        ++inflight_;
+        if (inflight_ > peak_inflight_)
+            peak_inflight_ = inflight_;
+        ++admitted_total_;
+        return AdmissionSlot(this, queued);
+    };
+
+    // Fast path: a free slot and nobody ahead of us. An equal-priority
+    // waiter keeps its place (FIFO within a priority); a lower-priority
+    // one is overtaken.
+    const bool nobody_ahead =
+        waiters_.empty() || waiters_.begin()->first > -priority;
+    if (inflight_ < max_inflight_ && nobody_ahead)
+        return admit(false);
+
+    if (no_wait || waiters_.size() >= max_queue_) {
+        ++busy_total_;
+        return AdmissionSlot();
+    }
+
+    const WaiterKey key{-priority, next_seq_++};
+    waiters_.insert(key);
+    ++queued_total_;
+    cv_.wait(lock, [&] {
+        return inflight_ < max_inflight_ && *waiters_.begin() == key;
+    });
+    waiters_.erase(key);
+    // More slots may be free (a burst of releases); the next waiter in
+    // line must re-check, not sleep through it.
+    if (inflight_ + 1 < max_inflight_ && !waiters_.empty())
+        cv_.notify_all();
+    return admit(true);
+}
+
+void
+SweepScheduler::release_slot()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        --inflight_;
+    }
+    cv_.notify_all();
+}
+
+SchedulerStats
+SweepScheduler::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    SchedulerStats s;
+    s.admitted = admitted_total_;
+    s.queued = queued_total_;
+    s.busy_rejected = busy_total_;
+    s.inflight = inflight_;
+    s.peak_inflight = peak_inflight_;
+    s.queue_depth = static_cast<unsigned>(waiters_.size());
+    return s;
+}
+
+} // namespace morpheus

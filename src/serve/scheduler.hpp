@@ -1,0 +1,138 @@
+#ifndef MORPHEUS_SERVE_SCHEDULER_HPP_
+#define MORPHEUS_SERVE_SCHEDULER_HPP_
+
+/**
+ * @file
+ * Bounded admission for the serve daemon's sweep requests
+ * (docs/SERVE_PROTOCOL.md "Admission and priorities").
+ *
+ * Every run/scenario request must hold an admission slot while its
+ * simulation work executes. At most `max_inflight` slots exist; excess
+ * requests wait in a priority queue (higher `priority` first, FIFO
+ * within a priority) up to `max_queue` waiters — beyond that, or when
+ * the request asked not to wait, acquire() returns an unadmitted slot
+ * and the handler answers with a structured `busy` response instead of
+ * blocking the connection thread forever.
+ *
+ * The scheduler orders *sweep requests*; concurrency inside one sweep
+ * is bounded separately (ConcurrencyGate, harness/sweep_engine.hpp) and
+ * per-key duplicate work is absorbed above this layer by request
+ * coalescing (serve/serve.cpp) and below it by the result cache's
+ * single-flight. tests/test_serve_soak.cpp pins the cap and the
+ * priority order under 32-client load.
+ */
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <utility>
+
+namespace morpheus {
+
+class SweepScheduler;
+
+/** Counters exposed through the `stats` op. A snapshot, not a consistent
+ *  cut — every field is maintained under the scheduler's lock. */
+struct SchedulerStats
+{
+    std::uint64_t admitted = 0;       ///< slots granted (incl. after queueing)
+    std::uint64_t queued = 0;         ///< requests that had to wait
+    std::uint64_t busy_rejected = 0;  ///< unadmitted: saturated + no_wait/full queue
+    unsigned inflight = 0;            ///< slots held right now
+    unsigned peak_inflight = 0;       ///< high-water mark of inflight
+    unsigned queue_depth = 0;         ///< waiters right now
+};
+
+/**
+ * RAII admission slot: holds one unit of the scheduler's capacity from
+ * acquire() until destruction. An unadmitted slot (admitted() == false)
+ * holds nothing and means the request was turned away.
+ */
+class AdmissionSlot
+{
+  public:
+    AdmissionSlot() = default;
+    ~AdmissionSlot() { release(); }
+
+    AdmissionSlot(AdmissionSlot &&other) noexcept { *this = std::move(other); }
+    AdmissionSlot &
+    operator=(AdmissionSlot &&other) noexcept
+    {
+        if (this != &other) {
+            release();
+            scheduler_ = other.scheduler_;
+            queued_ = other.queued_;
+            other.scheduler_ = nullptr;
+        }
+        return *this;
+    }
+
+    AdmissionSlot(const AdmissionSlot &) = delete;
+    AdmissionSlot &operator=(const AdmissionSlot &) = delete;
+
+    bool admitted() const { return scheduler_ != nullptr; }
+    /** True when this request waited for a slot instead of getting one
+     *  immediately (surfaced as `"queued": true` in responses). */
+    bool was_queued() const { return queued_; }
+
+    void release();
+
+  private:
+    friend class SweepScheduler;
+    AdmissionSlot(SweepScheduler *s, bool queued) : scheduler_(s), queued_(queued) {}
+
+    SweepScheduler *scheduler_ = nullptr;
+    bool queued_ = false;
+};
+
+class SweepScheduler
+{
+  public:
+    /** @param max_inflight concurrent admitted sweeps; 0 = unbounded
+     *  (every acquire succeeds immediately).
+     *  @param max_queue waiters allowed beyond the inflight cap; further
+     *  requests are rejected busy even if willing to wait. */
+    explicit SweepScheduler(unsigned max_inflight, unsigned max_queue = 64)
+        : max_inflight_(max_inflight), max_queue_(max_queue)
+    {
+    }
+
+    unsigned max_inflight() const { return max_inflight_; }
+    unsigned max_queue() const { return max_queue_; }
+
+    /**
+     * Blocks until a slot is free (honoring priority order), then
+     * returns an admitted slot. Returns an unadmitted slot without
+     * blocking when the scheduler is saturated and either @p no_wait is
+     * set or the wait queue is full.
+     */
+    AdmissionSlot acquire(int priority, bool no_wait);
+
+    SchedulerStats stats() const;
+
+  private:
+    friend class AdmissionSlot;
+    void release_slot();
+
+    /** Waiters order by (priority descending, arrival ascending): the
+     *  set's begin() is always the next request to admit. */
+    using WaiterKey = std::pair<int, std::uint64_t>; // (-priority, seq)
+
+    unsigned max_inflight_;
+    unsigned max_queue_;
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::set<WaiterKey> waiters_;
+    std::uint64_t next_seq_ = 0;
+    unsigned inflight_ = 0;
+    unsigned peak_inflight_ = 0;
+    std::uint64_t admitted_total_ = 0;
+    std::uint64_t queued_total_ = 0;
+    std::uint64_t busy_total_ = 0;
+};
+
+} // namespace morpheus
+
+#endif // MORPHEUS_SERVE_SCHEDULER_HPP_

@@ -1,5 +1,7 @@
 #include "serve/serve.hpp"
 
+#include <algorithm>
+#include <condition_variable>
 #include <cstdint>
 #include <cstdio>
 #include <sstream>
@@ -50,10 +52,13 @@ append_escaped(std::string &out, const std::string &s)
     }
 }
 
+/** Machine-readable error classes (docs/SERVE_PROTOCOL.md "Error codes"). */
 std::string
-error_response(const std::string &message)
+error_response(const std::string &message, const char *code = "bad_request")
 {
-    std::string out = "{\"status\": \"error\", \"error\": \"";
+    std::string out = "{\"status\": \"error\", \"code\": \"";
+    out += code;
+    out += "\", \"error\": \"";
     append_escaped(out, message);
     out += "\"}";
     return out;
@@ -80,26 +85,292 @@ parse_system_kind(const std::string &name, SystemKind &out)
 }
 
 /** One {"status":"ok", ...} line embedding @p report (env zeroed by the
- *  caller) and this request's cache hit/miss deltas. */
+ *  caller), this request's cache hit/miss deltas, and the scheduling
+ *  facts (did it wait; is the report degraded). */
 std::string
 ok_report_response(const char *op, const RunReport &report, std::uint64_t hits,
-                   std::uint64_t misses)
+                   std::uint64_t misses, bool queued, std::uint64_t failed_jobs)
 {
     std::string out = "{\"status\": \"ok\", \"op\": \"";
     out += op;
     out += "\", \"hits\": " + std::to_string(hits);
     out += ", \"misses\": " + std::to_string(misses);
+    out += std::string(", \"queued\": ") + (queued ? "true" : "false");
+    if (failed_jobs > 0) {
+        out += ", \"degraded\": true";
+        out += ", \"failed\": " + std::to_string(failed_jobs);
+    }
     out += ", \"report\": \"";
     append_escaped(out, report.to_json());
     out += "\"}";
     return out;
 }
 
+/** Clamped unsigned read of an optional numeric field. */
+std::uint64_t
+u64_field(const JsonValue &req, const char *name, std::uint64_t fallback)
+{
+    const double v = req.number_or(name, static_cast<double>(fallback));
+    if (v <= 0)
+        return 0;
+    if (v >= 1e18)
+        return static_cast<std::uint64_t>(1e18);
+    return static_cast<std::uint64_t>(v);
+}
+
+int
+priority_field(const JsonValue &req)
+{
+    const double v = req.number_or("priority", 0);
+    return static_cast<int>(std::clamp(v, -1e6, 1e6));
+}
+
+bool
+bool_field(const JsonValue &req, const char *name, bool fallback)
+{
+    const JsonValue *v = req.get(name);
+    if (!v || v->type != JsonValue::Type::kBool)
+        return fallback;
+    return v->boolean;
+}
+
 } // namespace
 
-ServeHandler::ServeHandler(const std::string &cache_dir, unsigned jobs)
-    : cache_(cache_dir), jobs_(jobs)
+/** One leader's published outcome, shared with coalesced followers. */
+struct ServeHandler::InflightRequest
 {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    std::string response;
+};
+
+ServeHandler::ServeHandler(ServeOptions options)
+    : options_(std::move(options)),
+      cache_(options_.cache_dir),
+      scheduler_(options_.max_inflight_sweeps, options_.max_queue)
+{
+    if (options_.max_sim_threads > 0)
+        gate_ = std::make_unique<ConcurrencyGate>(options_.max_sim_threads);
+}
+
+ServeHandler::ServeHandler(const std::string &cache_dir, unsigned jobs)
+    : ServeHandler([&] {
+          ServeOptions o;
+          o.cache_dir = cache_dir;
+          o.jobs = jobs;
+          return o;
+      }())
+{
+}
+
+void
+ServeHandler::maybe_auto_gc()
+{
+    if (options_.cache_max_bytes == 0 || !cache_.ok())
+        return;
+    if (cache_.usage().total_bytes() <= options_.cache_max_bytes)
+        return;
+    GcResult gc;
+    std::string error;
+    cache_.gc(options_.cache_max_bytes, gc, error);
+}
+
+std::string
+ServeHandler::coalesce_or_lead(const std::string &coalesce_key, int priority,
+                               bool no_wait, const char *op,
+                               const std::function<std::string(bool queued)> &lead)
+{
+    std::shared_ptr<InflightRequest> req;
+    bool leader = false;
+    {
+        std::lock_guard<std::mutex> lock(inflight_mu_);
+        auto it = inflight_reqs_.find(coalesce_key);
+        if (it == inflight_reqs_.end()) {
+            req = std::make_shared<InflightRequest>();
+            inflight_reqs_.emplace(coalesce_key, req);
+            leader = true;
+        } else {
+            req = it->second;
+            ++coalesced_total_;
+        }
+    }
+
+    if (!leader) {
+        // Follower: ride the leader's work. The identical response —
+        // report bytes included — marked so clients can tell it cost
+        // nothing. Followers never consume admission slots.
+        std::unique_lock<std::mutex> lock(req->mu);
+        req->cv.wait(lock, [&] { return req->done; });
+        std::string response = req->response;
+        lock.unlock();
+        // Splice the marker before the closing brace (every response is
+        // one flat JSON object).
+        response.insert(response.size() - 1, ", \"coalesced\": true");
+        return response;
+    }
+
+    std::string response;
+    {
+        AdmissionSlot slot = scheduler_.acquire(priority, no_wait);
+        if (!slot.admitted()) {
+            const SchedulerStats s = scheduler_.stats();
+            response = "{\"status\": \"busy\", \"op\": \"";
+            response += op;
+            response += "\", \"code\": \"busy\"";
+            response += ", \"error\": \"server is at capacity\"";
+            response += ", \"inflight\": " + std::to_string(s.inflight);
+            response += ", \"queue_depth\": " + std::to_string(s.queue_depth);
+            response += "}";
+        } else {
+            response = lead(slot.was_queued());
+        }
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(inflight_mu_);
+        inflight_reqs_.erase(coalesce_key);
+    }
+    {
+        std::lock_guard<std::mutex> lock(req->mu);
+        req->done = true;
+        req->response = response;
+    }
+    req->cv.notify_all();
+    return response;
+}
+
+std::string
+ServeHandler::handle_run(const JsonValue &req)
+{
+    const std::string app_name = req.string_or("app", "");
+    if (app_name.empty())
+        return error_response("run: missing \"app\"");
+    const AppSpec *app = find_app(app_name);
+    if (!app)
+        return error_response("run: unknown app '" + app_name + "'", "not_found");
+    const std::string system = req.string_or("system", "Morpheus-ALL");
+    SystemKind kind;
+    if (!parse_system_kind(system, kind))
+        return error_response("run: unknown system '" + system + "'", "not_found");
+    SystemSetup setup = make_system(kind, *app);
+    const double compute_sms = req.number_or("compute_sms", -1);
+    if (compute_sms >= 0)
+        setup.compute_sms = static_cast<std::uint32_t>(compute_sms);
+    const double cache_sms = req.number_or("cache_sms", -1);
+    if (cache_sms >= 0)
+        setup.morpheus.cache_sms = static_cast<std::uint32_t>(cache_sms);
+
+    const std::uint64_t timeout_ms =
+        u64_field(req, "timeout_ms", options_.default_timeout_ms);
+    const unsigned retries = static_cast<unsigned>(
+        u64_field(req, "retries", options_.default_retries));
+    const int priority = priority_field(req);
+    const bool no_wait = bool_field(req, "no_wait", false);
+
+    std::string key = "run|" + app_name + "|" + system;
+    key += "|c" + std::to_string(compute_sms >= 0 ? setup.compute_sms : ~0u);
+    key += "|k" + std::to_string(cache_sms >= 0 ? setup.morpheus.cache_sms : ~0u);
+    key += "|t" + std::to_string(timeout_ms) + "|r" + std::to_string(retries);
+
+    return coalesce_or_lead(key, priority, no_wait, "run", [&](bool queued) {
+        const std::uint64_t hits0 = cache_.stats().hits.load();
+        const std::uint64_t misses0 = cache_.stats().misses.load();
+
+        RunReport report("serve_run");
+        report.set_work_scale(work_scale());
+        report.set_jobs(0);
+
+        // A 1-job sweep, so the protocol's watchdog/retry knobs ride the
+        // same engine machinery as scenario sweeps.
+        SweepEngine engine(1);
+        SweepConfig cfg;
+        cfg.timeout_ms = timeout_ms;
+        cfg.retries = retries;
+        cfg.tolerant = false;
+        cfg.store = cache_.ok() ? &cache_ : nullptr;
+        cfg.gate = gate_.get();
+        engine.set_config(std::move(cfg));
+        engine.set_report(&report);
+        engine.add(setup, app->params, app_name + "@" + system);
+        try {
+            engine.run_all();
+        } catch (const std::exception &ex) {
+            return error_response(std::string("run failed: ") + ex.what(), "failed");
+        }
+        maybe_auto_gc();
+        return ok_report_response("run", report, cache_.stats().hits.load() - hits0,
+                                  cache_.stats().misses.load() - misses0, queued, 0);
+    });
+}
+
+std::string
+ServeHandler::handle_scenario(const JsonValue &req)
+{
+    const std::string name = req.string_or("name", "");
+    if (name.empty())
+        return error_response("scenario: missing \"name\"");
+    const Scenario *sc = find_scenario(name);
+    if (!sc)
+        return error_response("scenario: unknown scenario '" + name + "'", "not_found");
+
+    const unsigned jobs = static_cast<unsigned>(req.number_or("jobs", options_.jobs));
+    const std::uint64_t timeout_ms =
+        u64_field(req, "timeout_ms", options_.default_timeout_ms);
+    const unsigned retries = static_cast<unsigned>(
+        u64_field(req, "retries", options_.default_retries));
+    const bool tolerant = bool_field(req, "tolerant", false);
+    const int priority = priority_field(req);
+    const bool no_wait = bool_field(req, "no_wait", false);
+
+    std::string key = "scenario|" + name + "|j" + std::to_string(jobs);
+    key += "|t" + std::to_string(timeout_ms) + "|r" + std::to_string(retries);
+    key += tolerant ? "|tol" : "";
+
+    return coalesce_or_lead(key, priority, no_wait, "scenario", [&](bool queued) {
+        const std::uint64_t hits0 = cache_.stats().hits.load();
+        const std::uint64_t misses0 = cache_.stats().misses.load();
+
+        RunReport report(sc->name);
+        report.set_work_scale(work_scale());
+        report.set_jobs(0);
+        ScenarioOptions opts;
+        opts.jobs = jobs;
+        opts.report = &report;
+        opts.timeout_ms = timeout_ms;
+        opts.retries = retries;
+        if (cache_.ok())
+            opts.result_store = &cache_;
+        opts.sim_gate = gate_.get();
+        // Tables go nowhere: the daemon's product is the report.
+        std::ostringstream sink;
+        opts.out = &sink;
+        int rc;
+        try {
+            rc = sc->run(opts);
+        } catch (const std::exception &ex) {
+            return error_response(std::string("scenario failed: ") + ex.what(),
+                                  "failed");
+        }
+        if (rc != 0 && rc != kExitDegraded)
+            return error_response("scenario '" + name + "' exited with code " +
+                                      std::to_string(rc),
+                                  "failed");
+        std::uint64_t failed_jobs = 0;
+        for (const auto &entry : report.entries())
+            failed_jobs += entry.ok() ? 0 : 1;
+        if ((rc == kExitDegraded || failed_jobs > 0) && !tolerant)
+            return error_response("scenario '" + name + "' had " +
+                                      std::to_string(failed_jobs) +
+                                      " failed jobs (send \"tolerant\": true to "
+                                      "accept a degraded report)",
+                                  "degraded");
+        maybe_auto_gc();
+        return ok_report_response("scenario", report,
+                                  cache_.stats().hits.load() - hits0,
+                                  cache_.stats().misses.load() - misses0, queued,
+                                  failed_jobs);
+    });
 }
 
 std::string
@@ -116,7 +387,8 @@ ServeHandler::handle_line(const std::string &line, bool &shutdown)
         return error_response("bad request: missing \"op\"");
 
     if (op == "ping")
-        return "{\"status\": \"ok\", \"op\": \"ping\"}";
+        return "{\"status\": \"ok\", \"op\": \"ping\", \"protocol\": " +
+               std::to_string(kServeProtocolVersion) + "}";
 
     if (op == "shutdown") {
         shutdown = true;
@@ -125,89 +397,103 @@ ServeHandler::handle_line(const std::string &line, bool &shutdown)
 
     if (op == "stats") {
         const CacheStats &s = cache_.stats();
+        const CacheUsage u = cache_.ok() ? cache_.usage() : CacheUsage{};
+        const SchedulerStats sched = scheduler_.stats();
+        std::uint64_t coalesced;
+        {
+            std::lock_guard<std::mutex> lock(inflight_mu_);
+            coalesced = coalesced_total_;
+        }
         std::string out = "{\"status\": \"ok\", \"op\": \"stats\"";
         out += ", \"cache_ok\": " + std::string(cache_.ok() ? "true" : "false");
         out += ", \"hits\": " + std::to_string(s.hits.load());
         out += ", \"misses\": " + std::to_string(s.misses.load());
         out += ", \"stores\": " + std::to_string(s.stores.load());
         out += ", \"evictions\": " + std::to_string(s.evictions.load());
+        out += ", \"gc_evictions\": " + std::to_string(s.gc_evictions.load());
+        out += ", \"entry_count\": " + std::to_string(u.entry_count);
+        out += ", \"entry_bytes\": " + std::to_string(u.entry_bytes);
+        out += ", \"tmp_count\": " + std::to_string(u.tmp_count);
+        out += ", \"tmp_bytes\": " + std::to_string(u.tmp_bytes);
+        out += ", \"total_bytes\": " + std::to_string(u.total_bytes());
+        out += ", \"cache_max_bytes\": " + std::to_string(options_.cache_max_bytes);
+        out += ", \"max_inflight\": " + std::to_string(scheduler_.max_inflight());
+        out += ", \"inflight\": " + std::to_string(sched.inflight);
+        out += ", \"peak_inflight\": " + std::to_string(sched.peak_inflight);
+        out += ", \"admitted\": " + std::to_string(sched.admitted);
+        out += ", \"queued\": " + std::to_string(sched.queued);
+        out += ", \"queue_depth\": " + std::to_string(sched.queue_depth);
+        out += ", \"busy_rejected\": " + std::to_string(sched.busy_rejected);
+        out += ", \"coalesced\": " + std::to_string(coalesced);
         out += "}";
         return out;
     }
 
-    const std::uint64_t hits0 = cache_.stats().hits.load();
-    const std::uint64_t misses0 = cache_.stats().misses.load();
-
-    if (op == "run") {
-        const std::string app_name = req.string_or("app", "");
-        if (app_name.empty())
-            return error_response("run: missing \"app\"");
-        const AppSpec *app = find_app(app_name);
-        if (!app)
-            return error_response("run: unknown app '" + app_name + "'");
-        const std::string system = req.string_or("system", "Morpheus-ALL");
-        SystemKind kind;
-        if (!parse_system_kind(system, kind))
-            return error_response("run: unknown system '" + system + "'");
-        SystemSetup setup = make_system(kind, *app);
-        const double compute_sms = req.number_or("compute_sms", -1);
-        if (compute_sms >= 0)
-            setup.compute_sms = static_cast<std::uint32_t>(compute_sms);
-        const double cache_sms = req.number_or("cache_sms", -1);
-        if (cache_sms >= 0)
-            setup.morpheus.cache_sms = static_cast<std::uint32_t>(cache_sms);
-
-        RunReport report("serve_run");
-        report.set_work_scale(work_scale());
-        report.set_jobs(0);
-        try {
-            const auto simulate = [&] { return run_setup(setup, app->params); };
-            const RunResult r = cache_.ok()
-                                    ? cache_.get_or_run(setup, app->params, simulate)
-                                    : simulate();
-            report.add_run(app_name + "@" + system, r);
-        } catch (const std::exception &ex) {
-            return error_response(std::string("run failed: ") + ex.what());
+    if (op == "gc") {
+        if (!cache_.ok())
+            return error_response("gc: cache unavailable: " + cache_.error(),
+                                  "unavailable");
+        const JsonValue *mb = req.get("max_bytes");
+        std::uint64_t max_bytes;
+        if (mb && mb->type == JsonValue::Type::kNumber) {
+            max_bytes = u64_field(req, "max_bytes", 0);
+        } else if (options_.cache_max_bytes > 0) {
+            max_bytes = options_.cache_max_bytes;
+        } else {
+            return error_response(
+                "gc: no \"max_bytes\" given and no --cache-max-bytes configured");
         }
-        return ok_report_response("run", report, cache_.stats().hits.load() - hits0,
-                                  cache_.stats().misses.load() - misses0);
+        GcResult gc;
+        std::string gc_error;
+        if (!cache_.gc(max_bytes, gc, gc_error))
+            return error_response("gc failed: " + gc_error, "failed");
+        std::string out = "{\"status\": \"ok\", \"op\": \"gc\"";
+        out += ", \"max_bytes\": " + std::to_string(max_bytes);
+        out += ", \"evicted_entries\": " + std::to_string(gc.evicted_entries);
+        out += ", \"evicted_bytes\": " + std::to_string(gc.evicted_bytes);
+        out += ", \"reaped_tmp\": " + std::to_string(gc.reaped_tmp);
+        out += ", \"reaped_tmp_bytes\": " + std::to_string(gc.reaped_tmp_bytes);
+        out += ", \"kept_entries\": " + std::to_string(gc.kept_entries);
+        out += ", \"kept_bytes\": " + std::to_string(gc.kept_bytes);
+        out += "}";
+        return out;
     }
 
-    if (op == "scenario") {
-        const std::string name = req.string_or("name", "");
-        if (name.empty())
-            return error_response("scenario: missing \"name\"");
-        const Scenario *sc = find_scenario(name);
-        if (!sc)
-            return error_response("scenario: unknown scenario '" + name + "'");
-
-        RunReport report(sc->name);
-        report.set_work_scale(work_scale());
-        report.set_jobs(0);
-        ScenarioOptions opts;
-        opts.jobs = static_cast<unsigned>(req.number_or("jobs", jobs_));
-        opts.report = &report;
-        if (cache_.ok())
-            opts.result_store = &cache_;
-        // Tables go nowhere: the daemon's product is the report.
-        std::ostringstream sink;
-        opts.out = &sink;
-        int rc;
-        try {
-            rc = sc->run(opts);
-        } catch (const std::exception &ex) {
-            return error_response(std::string("scenario failed: ") + ex.what());
+    if (op == "export" || op == "import") {
+        if (!cache_.ok())
+            return error_response(op + ": cache unavailable: " + cache_.error(),
+                                  "unavailable");
+        const std::string path = req.string_or("path", "");
+        if (path.empty())
+            return error_response(op + ": missing \"path\"");
+        std::string io_error;
+        if (op == "export") {
+            std::uint64_t count = 0;
+            if (!cache_.export_entries(path, count, io_error))
+                return error_response("export failed: " + io_error, "failed");
+            std::string out = "{\"status\": \"ok\", \"op\": \"export\"";
+            out += ", \"entries\": " + std::to_string(count);
+            out += ", \"path\": \"";
+            append_escaped(out, path);
+            out += "\"}";
+            return out;
         }
-        if (rc != 0)
-            return error_response("scenario '" + name + "' exited with code " +
-                                  std::to_string(rc));
-        if (report.has_failures())
-            return error_response("scenario '" + name + "' had failed jobs");
-        return ok_report_response("scenario", report, cache_.stats().hits.load() - hits0,
-                                  cache_.stats().misses.load() - misses0);
+        ImportResult imp;
+        if (!cache_.import_entries(path, imp, io_error))
+            return error_response("import failed: " + io_error, "failed");
+        std::string out = "{\"status\": \"ok\", \"op\": \"import\"";
+        out += ", \"imported\": " + std::to_string(imp.imported);
+        out += ", \"replaced\": " + std::to_string(imp.replaced);
+        out += "}";
+        return out;
     }
 
-    return error_response("unknown op '" + op + "'");
+    if (op == "run")
+        return handle_run(req);
+    if (op == "scenario")
+        return handle_scenario(req);
+
+    return error_response("unknown op '" + op + "'", "not_found");
 }
 
 } // namespace morpheus

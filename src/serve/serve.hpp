@@ -4,42 +4,96 @@
 /**
  * @file
  * Request handling for the morpheus_serve daemon (tools/morpheus_serve.cpp,
- * docs/ARCHITECTURE.md "Serving").
+ * docs/SERVE_PROTOCOL.md, docs/ARCHITECTURE.md "Serving").
  *
  * The wire protocol is newline-delimited JSON: each request is one JSON
  * object on one line, answered by one JSON object on one line. The
- * transport (an AF_UNIX socket in the daemon, a string pair in tests) is
- * deliberately outside this class — handle_line() is a pure
- * request→response function over a shared ResultCache, so the torture
- * tests drive the exact production code path without sockets.
+ * transport (AF_UNIX and TCP listeners in serve/listener.hpp, a string
+ * pair in tests) is deliberately outside this class — handle_line() is
+ * a pure request→response function over a shared ResultCache, so the
+ * torture tests drive the exact production code path without sockets.
  *
- * Requests ({"op": ...}):
- *   ping      → liveness probe
+ * Requests ({"op": ...}; full grammar in docs/SERVE_PROTOCOL.md):
+ *   ping      → liveness probe (+ protocol version)
  *   run       → one simulation: {"app": NAME, "system": SYSTEM?,
  *               "compute_sms": N?, "cache_sms": N?}
  *   scenario  → a full registered scenario: {"name": NAME, "jobs": N?}
- *   stats     → cache counters
+ *   stats     → cache counters + size accounting + scheduler counters
+ *   gc        → evict down to a byte budget: {"max_bytes": N?}
+ *   export    → write all entries to a server-local `.mrcx` container
+ *   import    → install entries from a `.mrcx` container
  *   shutdown  → stop accepting work (daemon exits)
+ *
+ * run/scenario requests additionally accept the multi-tenant knobs
+ *   "priority" (higher admitted first), "no_wait" (busy instead of
+ *   queueing), "timeout_ms", "retries", "tolerant" (scenario: accept a
+ *   degraded report) — and must hold an admission slot while they run
+ * (serve/scheduler.hpp). Identical in-flight requests coalesce: the
+ * followers wait for the leader's report instead of consuming slots or
+ * simulations, on top of the result cache's per-key single-flight.
  *
  * run/scenario responses embed the canonical BENCH report JSON as an
  * escaped string field ("report"), with the environment fields (jobs,
  * wall_ms) zeroed — so the response for a given configuration is
  * byte-identical whether it was simulated or served from cache, across
- * any worker count (tests/test_serve_concurrency.cpp).
+ * any worker count (tests/test_serve_concurrency.cpp,
+ * tests/test_serve_soak.cpp).
  */
 
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 
+#include "harness/sweep_engine.hpp"
 #include "serve/result_cache.hpp"
+#include "serve/scheduler.hpp"
 
 namespace morpheus {
+
+struct JsonValue;
+
+/** Wire protocol version, reported by `ping`. Bump on any change a
+ *  client could observe (new ops, field-meaning changes); history in
+ *  docs/SERVE_PROTOCOL.md. */
+inline constexpr unsigned kServeProtocolVersion = 2;
+
+/** Daemon-level configuration of one ServeHandler. */
+struct ServeOptions
+{
+    /** Result-cache directory (created if absent). */
+    std::string cache_dir;
+    /** Default sweep worker count for scenario requests
+     *  (0 = default_sweep_jobs()). */
+    unsigned jobs = 0;
+    /** Concurrent admitted run/scenario requests (`--max-inflight-sweeps`;
+     *  0 = unbounded). */
+    unsigned max_inflight_sweeps = 0;
+    /** Waiters beyond the cap before requests are rejected busy. */
+    unsigned max_queue = 64;
+    /** Concurrent simulations across ALL admitted sweeps
+     *  (`--max-sim-threads`; 0 = ungated). */
+    unsigned max_sim_threads = 0;
+    /** gc target (`--cache-max-bytes`; 0 = unbounded). When set, the
+     *  handler garbage-collects opportunistically after any request
+     *  that stored new entries. */
+    std::uint64_t cache_max_bytes = 0;
+    /** Default per-attempt watchdog for requests that don't set their
+     *  own "timeout_ms" (0 = none). */
+    std::uint64_t default_timeout_ms = 0;
+    /** Default retry budget for requests that don't set "retries". */
+    unsigned default_retries = 1;
+};
 
 class ServeHandler
 {
   public:
-    /** @param cache_dir result-cache directory (created if absent).
-     *  @param jobs default sweep worker count for scenario requests
-     *  (0 = default_sweep_jobs()). */
+    explicit ServeHandler(ServeOptions options);
+
+    /** Convenience for tests and the pre-v2 call sites: cache dir +
+     *  default jobs, everything else unbounded. */
     explicit ServeHandler(const std::string &cache_dir, unsigned jobs = 0);
 
     /** False when the cache directory could not be opened; requests are
@@ -47,19 +101,37 @@ class ServeHandler
     bool cache_ok() const { return cache_.ok(); }
     const std::string &cache_error() const { return cache_.error(); }
     ResultCache &cache() { return cache_; }
+    SweepScheduler &scheduler() { return scheduler_; }
+    const ServeOptions &options() const { return options_; }
 
     /**
      * Handles one request line; returns one response line (no trailing
      * newline). Malformed or unknown requests yield a
-     * {"status":"error",...} response, never an exception. Sets
-     * @p shutdown on a shutdown request. Thread-safe: connection threads
-     * call this concurrently and share the cache.
+     * {"status":"error",...} response, never an exception; saturated
+     * admission yields {"status":"busy",...}. Sets @p shutdown on a
+     * shutdown request. Thread-safe: connection threads call this
+     * concurrently and share the cache, scheduler, and gate.
      */
     std::string handle_line(const std::string &line, bool &shutdown);
 
   private:
+    struct InflightRequest;
+
+    std::string handle_run(const JsonValue &req);
+    std::string handle_scenario(const JsonValue &req);
+    std::string coalesce_or_lead(const std::string &coalesce_key, int priority,
+                                 bool no_wait, const char *op,
+                                 const std::function<std::string(bool queued)> &lead);
+    void maybe_auto_gc();
+
+    ServeOptions options_;
     ResultCache cache_;
-    unsigned jobs_;
+    SweepScheduler scheduler_;
+    std::unique_ptr<ConcurrencyGate> gate_;
+
+    std::mutex inflight_mu_;
+    std::unordered_map<std::string, std::shared_ptr<InflightRequest>> inflight_reqs_;
+    std::uint64_t coalesced_total_ = 0;
 };
 
 } // namespace morpheus

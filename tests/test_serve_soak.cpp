@@ -1,0 +1,460 @@
+/**
+ * @file
+ * Multi-tenant torture tests for the serving layer (serve/scheduler.hpp,
+ * serve/serve.hpp, serve/listener.hpp). The CI TSan job runs this
+ * binary: every property here must hold under real thread interleaving.
+ *
+ *  - SweepScheduler: admission cap honored exactly, waiters woken in
+ *    priority order, bounded queue rejects busy;
+ *  - ConcurrencyGate: at most N simulations in flight across sweeps;
+ *  - coalescing: duplicate in-flight requests ride the leader's report;
+ *  - soak: 32 client threads × mixed hit/miss/duplicate keys — the
+ *    simulation count equals the number of unique configurations, every
+ *    response is byte-identical to a fresh serial run, and the peak
+ *    admitted concurrency never exceeds the cap;
+ *  - the same soak through a live TCP ServerLoop (real sockets).
+ */
+#include <gtest/gtest.h>
+
+#include <netdb.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/json.hpp"
+#include "harness/sweep_engine.hpp"
+#include "serve/listener.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/serve.hpp"
+
+using namespace morpheus;
+
+namespace {
+
+class TempCacheDir
+{
+  public:
+    explicit TempCacheDir(const char *tag)
+        : path_(std::string(::testing::TempDir()) + "morpheus_soak_" + tag)
+    {
+        std::filesystem::remove_all(path_);
+    }
+    ~TempCacheDir() { std::filesystem::remove_all(path_); }
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+std::string
+run_request(int config)
+{
+    return R"({"op": "run", "app": "kmeans", "compute_sms": )" +
+           std::to_string(4 + 2 * config) + "}";
+}
+
+/** The embedded report field of an ok response (empty string + test
+ *  failure otherwise). */
+std::string
+report_of(const std::string &response)
+{
+    JsonValue v;
+    std::string error;
+    EXPECT_TRUE(parse_json_value(response, v, error)) << error << ": " << response;
+    EXPECT_EQ(v.string_or("status", ""), "ok") << response;
+    const JsonValue *r = v.get("report");
+    EXPECT_NE(r, nullptr) << response;
+    return r ? r->string : std::string();
+}
+
+double
+stat_field(ServeHandler &handler, const char *field)
+{
+    bool shutdown = false;
+    JsonValue v;
+    std::string error;
+    EXPECT_TRUE(
+        parse_json_value(handler.handle_line(R"({"op": "stats"})", shutdown), v, error))
+        << error;
+    return v.number_or(field, -1);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// SweepScheduler
+
+TEST(SweepScheduler_, UnboundedAdmitsImmediately)
+{
+    SweepScheduler scheduler(0);
+    std::vector<AdmissionSlot> slots;
+    for (int i = 0; i < 32; ++i) {
+        slots.push_back(scheduler.acquire(0, /*no_wait=*/true));
+        EXPECT_TRUE(slots.back().admitted());
+        EXPECT_FALSE(slots.back().was_queued());
+    }
+    EXPECT_EQ(scheduler.stats().busy_rejected, 0u);
+}
+
+TEST(SweepScheduler_, CapIsExactAndNoWaitBouncesAtCap)
+{
+    SweepScheduler scheduler(2);
+    AdmissionSlot a = scheduler.acquire(0, true);
+    AdmissionSlot b = scheduler.acquire(0, true);
+    ASSERT_TRUE(a.admitted());
+    ASSERT_TRUE(b.admitted());
+
+    AdmissionSlot c = scheduler.acquire(0, true);
+    EXPECT_FALSE(c.admitted());
+    EXPECT_EQ(scheduler.stats().busy_rejected, 1u);
+    EXPECT_EQ(scheduler.stats().inflight, 2u);
+    EXPECT_EQ(scheduler.stats().peak_inflight, 2u);
+
+    a.release();
+    AdmissionSlot d = scheduler.acquire(0, true);
+    EXPECT_TRUE(d.admitted());
+}
+
+TEST(SweepScheduler_, WaitersAdmitInPriorityOrder)
+{
+    SweepScheduler scheduler(1);
+    AdmissionSlot held = scheduler.acquire(0, true);
+    ASSERT_TRUE(held.admitted());
+
+    std::mutex mu;
+    std::vector<int> admit_order;
+    std::vector<std::thread> waiters;
+    for (const int priority : {1, 5, 3}) {
+        waiters.emplace_back([&, priority] {
+            // The slot is held until the lambda returns, so the order
+            // recorded under the mutex is the true admission order.
+            AdmissionSlot slot = scheduler.acquire(priority, false);
+            EXPECT_TRUE(slot.admitted());
+            EXPECT_TRUE(slot.was_queued());
+            std::lock_guard<std::mutex> lock(mu);
+            admit_order.push_back(priority);
+        });
+        // Enqueue strictly one at a time; priority — not arrival — must
+        // decide the admission order below.
+        while (scheduler.stats().queue_depth < waiters.size())
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+
+    held.release();
+    for (auto &t : waiters)
+        t.join();
+    EXPECT_EQ(admit_order, (std::vector<int>{5, 3, 1}));
+    EXPECT_EQ(scheduler.stats().queued, 3u);
+    EXPECT_EQ(scheduler.stats().peak_inflight, 1u);
+}
+
+TEST(SweepScheduler_, FullQueueRejectsBusy)
+{
+    SweepScheduler scheduler(1, /*max_queue=*/1);
+    AdmissionSlot held = scheduler.acquire(0, true);
+    ASSERT_TRUE(held.admitted());
+
+    std::thread waiter([&] {
+        AdmissionSlot slot = scheduler.acquire(0, false);
+        EXPECT_TRUE(slot.admitted());
+    });
+    while (scheduler.stats().queue_depth < 1)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+    AdmissionSlot rejected = scheduler.acquire(0, false);
+    EXPECT_FALSE(rejected.admitted());
+    EXPECT_EQ(scheduler.stats().busy_rejected, 1u);
+
+    held.release();
+    waiter.join();
+}
+
+// ---------------------------------------------------------------------------
+// ConcurrencyGate
+
+TEST(ConcurrencyGate_, BoundsConcurrentHoldersExactly)
+{
+    ConcurrencyGate gate(2);
+    std::atomic<int> holding{0};
+    std::atomic<int> overlap_max{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t) {
+        threads.emplace_back([&] {
+            for (int r = 0; r < 4; ++r) {
+                gate.acquire();
+                const int now = holding.fetch_add(1) + 1;
+                int seen = overlap_max.load();
+                while (now > seen && !overlap_max.compare_exchange_weak(seen, now)) {
+                }
+                std::this_thread::sleep_for(std::chrono::milliseconds(2));
+                holding.fetch_sub(1);
+                gate.release();
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_LE(overlap_max.load(), 2);
+    EXPECT_EQ(gate.peak(), 2u); // 8 threads × 4 rounds certainly collided
+    EXPECT_EQ(holding.load(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Coalescing and busy responses through the handler
+
+TEST(ServeScheduling, DuplicateInflightRequestCoalescesOntoLeader)
+{
+    TempCacheDir dir("coalesce");
+    ServeOptions options;
+    options.cache_dir = dir.path();
+    options.max_inflight_sweeps = 4;
+    ServeHandler handler(options);
+    ASSERT_TRUE(handler.cache_ok()) << handler.cache_error();
+
+    const std::string request = run_request(0);
+    std::string leader_response;
+    std::thread leader([&] {
+        bool shutdown = false;
+        leader_response = handler.handle_line(request, shutdown);
+    });
+    // The leader registers its coalesce slot before admission, so once
+    // the scheduler counts it in flight any duplicate must coalesce.
+    while (stat_field(handler, "inflight") < 1)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+    bool shutdown = false;
+    const std::string follower_response = handler.handle_line(request, shutdown);
+    leader.join();
+
+    EXPECT_EQ(handler.cache().stats().misses.load(), 1u);
+    EXPECT_NE(follower_response.find("\"coalesced\": true"), std::string::npos)
+        << follower_response;
+    EXPECT_EQ(report_of(follower_response), report_of(leader_response));
+    EXPECT_EQ(stat_field(handler, "coalesced"), 1);
+}
+
+TEST(ServeScheduling, NoWaitRequestGetsStructuredBusyAtCapacity)
+{
+    TempCacheDir dir("busy");
+    ServeOptions options;
+    options.cache_dir = dir.path();
+    options.max_inflight_sweeps = 1;
+    ServeHandler handler(options);
+    ASSERT_TRUE(handler.cache_ok()) << handler.cache_error();
+
+    std::thread occupant([&] {
+        bool shutdown = false;
+        handler.handle_line(run_request(0), shutdown);
+    });
+    while (stat_field(handler, "inflight") < 1)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+    // A *different* configuration (same key would coalesce, not queue).
+    bool shutdown = false;
+    const std::string response =
+        handler.handle_line(R"({"op": "run", "app": "kmeans", "compute_sms": 30, )"
+                            R"("no_wait": true})",
+                            shutdown);
+    occupant.join();
+
+    JsonValue v;
+    std::string error;
+    ASSERT_TRUE(parse_json_value(response, v, error)) << error;
+    EXPECT_EQ(v.string_or("status", ""), "busy") << response;
+    EXPECT_EQ(v.string_or("code", ""), "busy");
+    EXPECT_EQ(handler.scheduler().stats().busy_rejected, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Soak: 32 threads, mixed hit/miss/duplicate keys
+
+TEST(ServeSoak, MixedKeySoakCostsOneSimulationPerUniqueKey)
+{
+    TempCacheDir dir("soak");
+    ServeOptions options;
+    options.cache_dir = dir.path();
+    options.max_inflight_sweeps = 4;
+    ServeHandler handler(options);
+    ASSERT_TRUE(handler.cache_ok()) << handler.cache_error();
+
+    constexpr int kThreads = 32, kRounds = 3, kConfigs = 4;
+    std::vector<std::vector<std::string>> responses(
+        kThreads, std::vector<std::string>(kRounds));
+    {
+        std::vector<std::thread> threads;
+        for (int t = 0; t < kThreads; ++t) {
+            threads.emplace_back([&, t] {
+                for (int r = 0; r < kRounds; ++r) {
+                    // Every thread hammers all configs, phase-shifted:
+                    // duplicates in flight, hits after, misses first.
+                    bool shutdown = false;
+                    responses[static_cast<std::size_t>(t)][static_cast<std::size_t>(r)] =
+                        handler.handle_line(run_request((t + r) % kConfigs), shutdown);
+                    EXPECT_FALSE(shutdown);
+                }
+            });
+        }
+        for (auto &th : threads)
+            th.join();
+    }
+
+    // Exactly one simulation per unique configuration — everything else
+    // was a cache hit or a coalesced ride-along.
+    EXPECT_EQ(handler.cache().stats().misses.load(),
+              static_cast<std::uint64_t>(kConfigs));
+
+    // The admission cap held at every instant.
+    const SchedulerStats sched = handler.scheduler().stats();
+    EXPECT_LE(sched.peak_inflight, 4u);
+    EXPECT_EQ(sched.inflight, 0u);
+    EXPECT_EQ(sched.busy_rejected, 0u); // nothing used no_wait
+
+    // Byte-identity: every response's report equals a fresh serial run
+    // of the same configuration in an unrelated handler.
+    std::map<int, std::string> reference;
+    TempCacheDir ref_dir("soak_ref");
+    ServeHandler serial(ref_dir.path());
+    for (int c = 0; c < kConfigs; ++c) {
+        bool shutdown = false;
+        reference[c] = report_of(serial.handle_line(run_request(c), shutdown));
+        ASSERT_FALSE(reference[c].empty());
+    }
+    for (int t = 0; t < kThreads; ++t)
+        for (int r = 0; r < kRounds; ++r)
+            EXPECT_EQ(report_of(responses[static_cast<std::size_t>(t)]
+                                         [static_cast<std::size_t>(r)]),
+                      reference[(t + r) % kConfigs])
+                << "thread " << t << " round " << r;
+}
+
+// ---------------------------------------------------------------------------
+// The same traffic through a live TCP daemon
+
+namespace {
+
+int
+connect_loopback(std::uint16_t port)
+{
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo *res = nullptr;
+    if (::getaddrinfo("127.0.0.1", std::to_string(port).c_str(), &hints, &res) != 0 ||
+        !res)
+        return -1;
+    const int fd = ::socket(res->ai_family, res->ai_socktype, res->ai_protocol);
+    const bool ok = fd >= 0 && ::connect(fd, res->ai_addr, res->ai_addrlen) == 0;
+    ::freeaddrinfo(res);
+    if (!ok) {
+        if (fd >= 0)
+            ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+bool
+send_all(int fd, const std::string &data)
+{
+    std::size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+        if (n <= 0)
+            return false;
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+recv_response_line(int fd, std::string &buf, std::string &out)
+{
+    while (true) {
+        const std::size_t pos = buf.find('\n');
+        if (pos != std::string::npos) {
+            out = buf.substr(0, pos);
+            buf.erase(0, pos + 1);
+            return true;
+        }
+        char chunk[4096];
+        const ssize_t n = ::read(fd, chunk, sizeof chunk);
+        if (n <= 0)
+            return false;
+        buf.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+} // namespace
+
+TEST(ServeSoak, TcpDaemonServesConcurrentClientsByteIdentically)
+{
+    TempCacheDir dir("tcp");
+    ServeOptions options;
+    options.cache_dir = dir.path();
+    options.max_inflight_sweeps = 4;
+    ServeHandler handler(options);
+    ASSERT_TRUE(handler.cache_ok()) << handler.cache_error();
+
+    ServerLoop::Options loop_opts;
+    loop_opts.tcp_spec = "127.0.0.1:0"; // ephemeral port — parallel-safe
+    ServerLoop loop(handler, loop_opts);
+    std::string error;
+    ASSERT_TRUE(loop.start(error)) << error;
+    const std::uint16_t port = loop.tcp_port();
+    ASSERT_NE(port, 0);
+    std::thread server([&] { loop.run(); });
+
+    constexpr int kClients = 8, kRounds = 2, kConfigs = 2;
+    std::vector<std::string> reports(
+        static_cast<std::size_t>(kClients * kRounds));
+    {
+        std::vector<std::thread> clients;
+        for (int c = 0; c < kClients; ++c) {
+            clients.emplace_back([&, c] {
+                // One persistent connection per client, pipelining its
+                // rounds — the daemon must keep per-connection framing
+                // straight under concurrent load.
+                const int fd = connect_loopback(port);
+                ASSERT_GE(fd, 0);
+                std::string buf, line;
+                for (int r = 0; r < kRounds; ++r) {
+                    ASSERT_TRUE(send_all(fd, run_request((c + r) % kConfigs) + "\n"));
+                    ASSERT_TRUE(recv_response_line(fd, buf, line));
+                    reports[static_cast<std::size_t>(c * kRounds + r)] =
+                        report_of(line);
+                }
+                ::close(fd);
+            });
+        }
+        for (auto &th : clients)
+            th.join();
+    }
+
+    EXPECT_EQ(handler.cache().stats().misses.load(),
+              static_cast<std::uint64_t>(kConfigs));
+    EXPECT_LE(handler.scheduler().stats().peak_inflight, 4u);
+
+    TempCacheDir ref_dir("tcp_ref");
+    ServeHandler serial(ref_dir.path());
+    for (int c = 0; c < kClients; ++c)
+        for (int r = 0; r < kRounds; ++r) {
+            bool shutdown = false;
+            EXPECT_EQ(reports[static_cast<std::size_t>(c * kRounds + r)],
+                      report_of(serial.handle_line(run_request((c + r) % kConfigs),
+                                                   shutdown)))
+                << "client " << c << " round " << r;
+        }
+
+    loop.stop();
+    server.join();
+}

@@ -1,40 +1,61 @@
 /**
- * morpheus_serve — simulation-as-a-service over a local socket
- * (docs/ARCHITECTURE.md "Serving", docs/CACHE_FORMAT.md).
+ * morpheus_serve — simulation-as-a-service over local or TCP sockets
+ * (docs/SERVE_PROTOCOL.md, docs/ARCHITECTURE.md "Serving",
+ * docs/CACHE_FORMAT.md).
  *
- * Server:  morpheus_serve --socket PATH --cache-dir DIR [--jobs N]
- *   Long-lived daemon on an AF_UNIX socket. Each connection sends
- *   newline-delimited JSON requests (serve/serve.hpp lists the ops) and
- *   gets one JSON response line per request. Every completed grid point
- *   is memoized in the content-addressed result cache, so repeated
- *   sweeps — across connections and daemon restarts — cost one
- *   simulation each.
+ * Server:  morpheus_serve [--socket PATH] [--listen HOST:PORT]
+ *                         --cache-dir DIR [options]
+ *   Long-lived daemon on an AF_UNIX socket, a TCP socket, or both
+ *   (serve/listener.hpp drives every endpoint through one accept loop).
+ *   Each connection sends newline-delimited JSON requests
+ *   (docs/SERVE_PROTOCOL.md lists the ops) and gets one JSON response
+ *   line per request. Every completed grid point is memoized in the
+ *   content-addressed result cache, so repeated sweeps — across
+ *   connections and daemon restarts — cost one simulation each.
  *
- * Client:  morpheus_serve --client --socket PATH <request> [options]
+ *   options: --jobs N                default sweep workers per scenario
+ *            --max-inflight-sweeps N admission cap (0 = unbounded)
+ *            --max-queue N           waiters beyond the cap before busy
+ *            --max-sim-threads N     concurrent simulations across sweeps
+ *            --cache-max-bytes N     gc budget; enables auto-gc
+ *            --timeout-ms N          default per-attempt watchdog
+ *            --retries N             default retry budget
+ *            --read-timeout-ms N     per-connection read timeout (0 = off)
+ *            --port-file FILE        write the bound TCP port (":0" binds)
+ *
+ * Client:  morpheus_serve --client (--socket PATH | --connect HOST:PORT)
+ *                         <request> [options]
  *   request: --ping | --run APP [--system S] | --scenario NAME |
- *            --stats | --shutdown-server
+ *            --stats | --gc [--max-bytes N] | --export FILE |
+ *            --import FILE | --shutdown-server
  *   options: --jobs N         worker threads for --scenario
+ *            --priority N     admission priority (higher runs first)
+ *            --no-wait        busy response instead of queueing
+ *            --timeout-ms N / --retries N / --tolerant
+ *                             per-request fault-tolerance knobs
  *            --output FILE    write the returned BENCH report (canonical
  *                             multi-line JSON, byte-identical to a local
  *                             --output run) to FILE
  *            --expect-hits    exit 1 unless the request was served
  *                             entirely from cache (CI freshness gate)
- *   Prints "hits=H misses=M" for run/scenario responses.
+ *   Prints "hits=H misses=M" for run/scenario responses. A busy
+ *   response exits with code 4 so sweep scripts can back off and retry.
  */
 
+#include <netdb.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
-#include <atomic>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
-#include <thread>
-#include <vector>
 
 #include "harness/json.hpp"
 #include "harness/report.hpp"
+#include "serve/listener.hpp"
 #include "serve/serve.hpp"
 
 namespace {
@@ -42,16 +63,27 @@ namespace {
 using morpheus::JsonValue;
 using morpheus::RunReport;
 using morpheus::ServeHandler;
+using morpheus::ServeOptions;
+using morpheus::ServerLoop;
+
+/** Exit code of a client request rejected busy by the admission cap. */
+constexpr int kExitBusy = 4;
 
 int
 usage()
 {
-    std::fprintf(stderr,
-                 "usage: morpheus_serve --socket PATH --cache-dir DIR [--jobs N]\n"
-                 "       morpheus_serve --client --socket PATH\n"
-                 "           (--ping | --run APP [--system S] | --scenario NAME |\n"
-                 "            --stats | --shutdown-server)\n"
-                 "           [--jobs N] [--output FILE] [--expect-hits]\n");
+    std::fprintf(
+        stderr,
+        "usage: morpheus_serve [--socket PATH] [--listen HOST:PORT] --cache-dir DIR\n"
+        "           [--jobs N] [--max-inflight-sweeps N] [--max-queue N]\n"
+        "           [--max-sim-threads N] [--cache-max-bytes N] [--timeout-ms N]\n"
+        "           [--retries N] [--read-timeout-ms N] [--port-file FILE]\n"
+        "       morpheus_serve --client (--socket PATH | --connect HOST:PORT)\n"
+        "           (--ping | --run APP [--system S] | --scenario NAME | --stats |\n"
+        "            --gc [--max-bytes N] | --export FILE | --import FILE |\n"
+        "            --shutdown-server)\n"
+        "           [--jobs N] [--priority N] [--no-wait] [--timeout-ms N]\n"
+        "           [--retries N] [--tolerant] [--output FILE] [--expect-hits]\n");
     return 2;
 }
 
@@ -63,7 +95,7 @@ send_line(int fd, const std::string &data)
     line += '\n';
     std::size_t off = 0;
     while (off < line.size()) {
-        const ssize_t n = ::write(fd, line.data() + off, line.size() - off);
+        const ssize_t n = ::send(fd, line.data() + off, line.size() - off, MSG_NOSIGNAL);
         if (n <= 0)
             return false;
         off += static_cast<std::size_t>(n);
@@ -96,65 +128,45 @@ recv_line(int fd, std::string &buf, std::string &out)
 // Server
 
 int
-serve_main(const std::string &socket_path, const std::string &cache_dir, unsigned jobs)
+serve_main(const std::string &socket_path, const std::string &listen_spec,
+           const ServeOptions &options, std::uint64_t read_timeout_ms,
+           const std::string &port_file)
 {
-    ServeHandler handler(cache_dir, jobs);
+    ServeHandler handler(options);
     if (!handler.cache_ok()) {
         std::fprintf(stderr, "morpheus_serve: %s\n", handler.cache_error().c_str());
         return 1;
     }
 
-    const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (listen_fd < 0) {
-        std::perror("morpheus_serve: socket");
+    ServerLoop::Options loop_opts;
+    loop_opts.unix_path = socket_path;
+    loop_opts.tcp_spec = listen_spec;
+    loop_opts.read_timeout_ms = read_timeout_ms;
+    ServerLoop loop(handler, loop_opts);
+    std::string error;
+    if (!loop.start(error)) {
+        std::fprintf(stderr, "morpheus_serve: %s\n", error.c_str());
         return 1;
     }
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    if (socket_path.size() >= sizeof(addr.sun_path)) {
-        std::fprintf(stderr, "morpheus_serve: socket path too long\n");
-        return 1;
-    }
-    std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
-    ::unlink(socket_path.c_str()); // stale socket from a dead daemon
-    if (::bind(listen_fd, reinterpret_cast<sockaddr *>(&addr), sizeof addr) != 0 ||
-        ::listen(listen_fd, 16) != 0) {
-        std::perror("morpheus_serve: bind/listen");
-        ::close(listen_fd);
-        return 1;
-    }
-    std::fprintf(stderr, "morpheus_serve: listening on %s (cache %s)\n",
-                 socket_path.c_str(), cache_dir.c_str());
-
-    std::atomic<bool> stopping{false};
-    std::vector<std::thread> connections;
-    while (!stopping.load()) {
-        const int fd = ::accept(listen_fd, nullptr, nullptr);
-        if (fd < 0) {
-            if (stopping.load())
-                break;
-            continue;
+    if (!socket_path.empty())
+        std::fprintf(stderr, "morpheus_serve: listening on unix:%s\n",
+                     socket_path.c_str());
+    if (!listen_spec.empty())
+        std::fprintf(stderr, "morpheus_serve: listening on tcp port %u\n",
+                     static_cast<unsigned>(loop.tcp_port()));
+    if (!port_file.empty()) {
+        std::FILE *f = std::fopen(port_file.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "morpheus_serve: cannot write %s\n",
+                         port_file.c_str());
+            return 1;
         }
-        connections.emplace_back([fd, listen_fd, &handler, &stopping] {
-            std::string buf, line;
-            while (recv_line(fd, buf, line)) {
-                bool shutdown = false;
-                const std::string response = handler.handle_line(line, shutdown);
-                send_line(fd, response);
-                if (shutdown) {
-                    stopping.store(true);
-                    // Wake the accept loop so the daemon exits promptly.
-                    ::shutdown(listen_fd, SHUT_RDWR);
-                    break;
-                }
-            }
-            ::close(fd);
-        });
+        std::fprintf(f, "%u\n", static_cast<unsigned>(loop.tcp_port()));
+        std::fclose(f);
     }
-    for (auto &t : connections)
-        t.join();
-    ::close(listen_fd);
-    ::unlink(socket_path.c_str());
+    std::fprintf(stderr, "morpheus_serve: cache %s\n", options.cache_dir.c_str());
+
+    loop.run();
     std::fprintf(stderr, "morpheus_serve: shut down\n");
     return 0;
 }
@@ -176,20 +188,62 @@ json_quote(const std::string &s)
 }
 
 int
-client_main(const std::string &socket_path, const std::string &request,
-            const std::string &output_path, bool expect_hits)
+connect_unix(const std::string &path)
 {
     const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (fd < 0) {
-        std::perror("morpheus_serve: socket");
-        return 1;
-    }
+    if (fd < 0)
+        return -1;
     sockaddr_un addr{};
     addr.sun_family = AF_UNIX;
-    std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
-    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr), sizeof addr) != 0) {
-        std::perror("morpheus_serve: connect");
+    if (path.size() >= sizeof(addr.sun_path)) {
         ::close(fd);
+        return -1;
+    }
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr), sizeof addr) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+int
+connect_tcp(const std::string &spec)
+{
+    std::string host;
+    std::uint16_t port;
+    if (!morpheus::parse_listen_spec(spec, host, port)) {
+        std::fprintf(stderr, "morpheus_serve: bad --connect spec '%s'\n", spec.c_str());
+        return -1;
+    }
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo *res = nullptr;
+    if (::getaddrinfo(host.empty() ? "127.0.0.1" : host.c_str(),
+                      std::to_string(port).c_str(), &hints, &res) != 0 ||
+        !res)
+        return -1;
+    const int fd = ::socket(res->ai_family, res->ai_socktype, res->ai_protocol);
+    const bool ok = fd >= 0 && ::connect(fd, res->ai_addr, res->ai_addrlen) == 0;
+    ::freeaddrinfo(res);
+    if (!ok) {
+        if (fd >= 0)
+            ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+int
+client_main(const std::string &socket_path, const std::string &connect_spec,
+            const std::string &request, const std::string &output_path,
+            bool expect_hits)
+{
+    const int fd = socket_path.empty() ? connect_tcp(connect_spec)
+                                       : connect_unix(socket_path);
+    if (fd < 0) {
+        std::fprintf(stderr, "morpheus_serve: cannot connect\n");
         return 1;
     }
 
@@ -207,7 +261,14 @@ client_main(const std::string &socket_path, const std::string &request,
         std::fprintf(stderr, "morpheus_serve: bad response: %s\n", error.c_str());
         return 1;
     }
-    if (response.string_or("status", "") != "ok") {
+    const std::string status = response.string_or("status", "");
+    if (status == "busy") {
+        std::fprintf(stderr, "morpheus_serve: server busy (inflight=%.0f queue=%.0f)\n",
+                     response.number_or("inflight", 0),
+                     response.number_or("queue_depth", 0));
+        return kExitBusy;
+    }
+    if (status != "ok") {
         std::fprintf(stderr, "morpheus_serve: server error: %s\n",
                      response.string_or("error", "(no message)").c_str());
         return 1;
@@ -249,10 +310,13 @@ client_main(const std::string &socket_path, const std::string &request,
 int
 main(int argc, char **argv)
 {
-    bool client = false, expect_hits = false;
-    std::string socket_path, cache_dir, output_path, request;
-    std::string run_app, run_system, scenario_name;
-    unsigned jobs = 0;
+    bool client = false, expect_hits = false, no_wait = false, tolerant = false;
+    bool have_priority = false, have_max_bytes = false, want_gc = false;
+    std::string socket_path, listen_spec, connect_spec, output_path, request, port_file;
+    std::string run_app, run_system, scenario_name, export_path, import_path;
+    long priority = 0;
+    std::uint64_t max_bytes = 0, read_timeout_ms = 30'000;
+    ServeOptions options;
 
     for (int i = 1; i < argc; ++i) {
         const char *a = argv[i];
@@ -260,18 +324,58 @@ main(int argc, char **argv)
             client = true;
         } else if (std::strcmp(a, "--socket") == 0 && i + 1 < argc) {
             socket_path = argv[++i];
+        } else if (std::strcmp(a, "--listen") == 0 && i + 1 < argc) {
+            listen_spec = argv[++i];
+        } else if (std::strcmp(a, "--connect") == 0 && i + 1 < argc) {
+            connect_spec = argv[++i];
         } else if (std::strcmp(a, "--cache-dir") == 0 && i + 1 < argc) {
-            cache_dir = argv[++i];
+            options.cache_dir = argv[++i];
         } else if (std::strcmp(a, "--jobs") == 0 && i + 1 < argc) {
-            jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+            options.jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+        } else if (std::strcmp(a, "--max-inflight-sweeps") == 0 && i + 1 < argc) {
+            options.max_inflight_sweeps =
+                static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+        } else if (std::strcmp(a, "--max-queue") == 0 && i + 1 < argc) {
+            options.max_queue =
+                static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+        } else if (std::strcmp(a, "--max-sim-threads") == 0 && i + 1 < argc) {
+            options.max_sim_threads =
+                static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+        } else if (std::strcmp(a, "--cache-max-bytes") == 0 && i + 1 < argc) {
+            options.cache_max_bytes = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(a, "--timeout-ms") == 0 && i + 1 < argc) {
+            options.default_timeout_ms = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(a, "--retries") == 0 && i + 1 < argc) {
+            options.default_retries =
+                static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+        } else if (std::strcmp(a, "--read-timeout-ms") == 0 && i + 1 < argc) {
+            read_timeout_ms = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(a, "--port-file") == 0 && i + 1 < argc) {
+            port_file = argv[++i];
         } else if (std::strcmp(a, "--output") == 0 && i + 1 < argc) {
             output_path = argv[++i];
         } else if (std::strcmp(a, "--expect-hits") == 0) {
             expect_hits = true;
+        } else if (std::strcmp(a, "--priority") == 0 && i + 1 < argc) {
+            priority = std::strtol(argv[++i], nullptr, 10);
+            have_priority = true;
+        } else if (std::strcmp(a, "--no-wait") == 0) {
+            no_wait = true;
+        } else if (std::strcmp(a, "--tolerant") == 0) {
+            tolerant = true;
+        } else if (std::strcmp(a, "--max-bytes") == 0 && i + 1 < argc) {
+            max_bytes = std::strtoull(argv[++i], nullptr, 10);
+            have_max_bytes = true;
         } else if (std::strcmp(a, "--ping") == 0) {
             request = "{\"op\": \"ping\"}";
         } else if (std::strcmp(a, "--stats") == 0) {
             request = "{\"op\": \"stats\"}";
+        } else if (std::strcmp(a, "--gc") == 0) {
+            want_gc = true;
+        } else if (std::strcmp(a, "--export") == 0 && i + 1 < argc) {
+            export_path = argv[++i];
+        } else if (std::strcmp(a, "--import") == 0 && i + 1 < argc) {
+            import_path = argv[++i];
         } else if (std::strcmp(a, "--shutdown-server") == 0) {
             request = "{\"op\": \"shutdown\"}";
         } else if (std::strcmp(a, "--run") == 0 && i + 1 < argc) {
@@ -284,24 +388,54 @@ main(int argc, char **argv)
             return usage();
         }
     }
-    if (socket_path.empty())
-        return usage();
 
-    if (!client)
-        return cache_dir.empty() ? usage() : serve_main(socket_path, cache_dir, jobs);
+    if (!client) {
+        if (options.cache_dir.empty() ||
+            (socket_path.empty() && listen_spec.empty()))
+            return usage();
+        return serve_main(socket_path, listen_spec, options, read_timeout_ms,
+                          port_file);
+    }
+
+    if (socket_path.empty() && connect_spec.empty())
+        return usage();
 
     if (!run_app.empty()) {
         request = "{\"op\": \"run\", \"app\": " + json_quote(run_app);
         if (!run_system.empty())
             request += ", \"system\": " + json_quote(run_system);
-        request += "}";
     } else if (!scenario_name.empty()) {
         request = "{\"op\": \"scenario\", \"name\": " + json_quote(scenario_name);
-        if (jobs)
-            request += ", \"jobs\": " + std::to_string(jobs);
-        request += "}";
+        if (options.jobs)
+            request += ", \"jobs\": " + std::to_string(options.jobs);
+        if (tolerant)
+            request += ", \"tolerant\": true";
+    } else if (want_gc) {
+        request = "{\"op\": \"gc\"";
+        if (have_max_bytes)
+            request += ", \"max_bytes\": " + std::to_string(max_bytes);
+    } else if (!export_path.empty()) {
+        request = "{\"op\": \"export\", \"path\": " + json_quote(export_path);
+    } else if (!import_path.empty()) {
+        request = "{\"op\": \"import\", \"path\": " + json_quote(import_path);
     }
+
     if (request.empty())
         return usage();
-    return client_main(socket_path, request, output_path, expect_hits);
+
+    const bool open_request = request.back() != '}';
+    std::string extras;
+    if (!run_app.empty() || !scenario_name.empty()) {
+        if (have_priority)
+            extras += ", \"priority\": " + std::to_string(priority);
+        if (no_wait)
+            extras += ", \"no_wait\": true";
+        if (options.default_timeout_ms)
+            extras += ", \"timeout_ms\": " + std::to_string(options.default_timeout_ms);
+        if (options.default_retries != 1)
+            extras += ", \"retries\": " + std::to_string(options.default_retries);
+    }
+    if (open_request)
+        request += extras + "}";
+    return client_main(socket_path, connect_spec, request, output_path, expect_hits);
 }
